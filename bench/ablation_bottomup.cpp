@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md §4.1): BottomUp's inner cost with and without the
+// sender ready time.  The paper's formula max_j min_i (g_ij + L_ij + T_j)
+// omits RT_i; its prose says senders are "released earlier, ready to be
+// selected again", which only matters if readiness is modelled.  FEF is
+// included as the reference point the paper compares BottomUp against
+// (Fig. 1's "BottomUp beats FEF" observation).
+
+#include "common.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(2000);
+  benchx::print_banner("Ablation: BottomUp ready-time",
+                       "mean completion time (s), 1 MB broadcast", opt);
+  ThreadPool pool(opt.threads);
+
+  sched::HeuristicOptions ready, paper;
+  ready.bottomup = sched::BottomUpPolicy::kReadyTimeAware;
+  paper.bottomup = sched::BottomUpPolicy::kPaperFormula;
+  const std::vector<sched::Scheduler> comps{
+      sched::Scheduler(sched::HeuristicKind::kBottomUp, ready),
+      sched::Scheduler(sched::HeuristicKind::kBottomUp, paper),
+      sched::Scheduler(sched::HeuristicKind::kFef),
+      sched::Scheduler(sched::HeuristicKind::kEcefLaMax)};
+
+  Table t({"clusters", "BottomUp(RT-aware)", "BottomUp(paper-formula)", "FEF",
+           "ECEF-LAT"});
+  for (const std::size_t n : {4UL, 8UL, 16UL, 32UL, 50UL}) {
+    exp::RaceConfig cfg;
+    cfg.clusters = n;
+    cfg.iterations = opt.iterations;
+    cfg.seed = opt.seed;
+    const auto r = exp::run_race(comps, cfg, pool);
+    t.add_row(std::to_string(n),
+              {r.makespan[0].mean(), r.makespan[1].mean(),
+               r.makespan[2].mean(), r.makespan[3].mean()},
+              3);
+  }
+  benchx::emit(t, opt);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation (DESIGN.md §4.2): FEF's edge weight.  Bhat defines the weight
+// as "usually the latency" (the paper-faithful default); under Table 2
+// ranges the gap dominates the transfer cost by two orders of magnitude,
+// so latency-only FEF picks edges nearly at random with respect to the
+// true cost.  Giving FEF the informed g+L weight recovers much of the gap
+// to ECEF — evidence that FEF's weakness in Figs. 1-2 is the weight, not
+// the greedy structure.
+
+#include "common.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(2000);
+  benchx::print_banner("Ablation: FEF edge weight",
+                       "mean completion time (s), 1 MB broadcast", opt);
+  ThreadPool pool(opt.threads);
+
+  sched::HeuristicOptions gl, lonly;
+  gl.fef_weight = sched::FefWeight::kGapPlusLatency;
+  lonly.fef_weight = sched::FefWeight::kLatencyOnly;
+  const std::vector<sched::Scheduler> comps{
+      sched::Scheduler(sched::HeuristicKind::kFef, gl),
+      sched::Scheduler(sched::HeuristicKind::kFef, lonly),
+      sched::Scheduler(sched::HeuristicKind::kEcef)};
+
+  Table t({"clusters", "FEF(g+L ablation)", "FEF(L only, paper)", "ECEF"});
+  for (const std::size_t n : {4UL, 8UL, 16UL, 32UL, 50UL}) {
+    exp::RaceConfig cfg;
+    cfg.clusters = n;
+    cfg.iterations = opt.iterations;
+    cfg.seed = opt.seed;
+    const auto r = exp::run_race(comps, cfg, pool);
+    t.add_row(std::to_string(n),
+              {r.makespan[0].mean(), r.makespan[1].mean(),
+               r.makespan[2].mean()},
+              3);
+  }
+  benchx::emit(t, opt);
+  return 0;
+}

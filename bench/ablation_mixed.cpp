@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md §4.7): the mixed strategy the paper's Section 6
+// recommends — ECEF-LA on small grids, ECEF-LAT on large ones.  For each
+// cluster count we report both pure strategies and what the mixed strategy
+// (threshold = 10) would deliver, in mean makespan and hit rate against
+// the full ECEF family.
+
+#include "common.hpp"
+#include "sched/mixed.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(1500);
+  benchx::print_banner("Ablation: mixed strategy",
+                       "ECEF-LA vs ECEF-LAT vs mixed(threshold=10)", opt);
+  ThreadPool pool(opt.threads);
+
+  const auto family = sched::ecef_family();  // ECEF, LA, LAt, LAT
+  const sched::MixedStrategy mixed(10);
+
+  Table t({"clusters", "ECEF-LA mean", "ECEF-LAT mean", "mixed mean",
+           "ECEF-LA hits", "ECEF-LAT hits", "mixed hits", "mixed uses"});
+  for (const std::size_t n : {4UL, 8UL, 10UL, 12UL, 20UL, 35UL, 50UL}) {
+    exp::RaceConfig cfg;
+    cfg.clusters = n;
+    cfg.iterations = opt.iterations;
+    cfg.seed = opt.seed;
+    const auto r = exp::run_race(family, cfg, pool);
+
+    // Index into the family: 1 = ECEF-LA, 3 = ECEF-LAT.
+    const std::size_t pick =
+        mixed.choice(n) == sched::HeuristicKind::kEcefLa ? 1 : 3;
+    t.add_row({std::to_string(n), Table::fmt(r.makespan[1].mean(), 3),
+               Table::fmt(r.makespan[3].mean(), 3),
+               Table::fmt(r.makespan[pick].mean(), 3),
+               std::to_string(r.hits[1]), std::to_string(r.hits[3]),
+               std::to_string(r.hits[pick]),
+               std::string(to_string(mixed.choice(n)))});
+  }
+  benchx::emit(t, opt);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared plumbing for the bench binaries: banner printing and the
+// cluster-count sweep that Figs. 1-4 all use.  Each binary prints the same
+// rows/series as the paper artefact it reproduces; set GRIDCAST_CSV=1 for
+// machine-readable output and GRIDCAST_ITERS to change the Monte-Carlo
+// depth (EXPERIMENTS.md records the defaults used for the committed
+// results).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/montecarlo.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gridcast::benchx {
+
+inline void print_banner(const std::string& artefact, const std::string& what,
+                         const BenchOptions& opt) {
+  std::cout << "# " << artefact << ": " << what << '\n'
+            << "# iterations=" << opt.iterations << " seed=" << opt.seed
+            << " threads=" << opt.threads << '\n';
+}
+
+inline void emit(const Table& t, const BenchOptions& opt) {
+  if (opt.csv)
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+}
+
+/// Run the Monte-Carlo race for each cluster count and tabulate one series
+/// per competitor: mean makespan when `metric == kMean`, hit counts when
+/// `metric == kHits`.
+enum class RaceMetric { kMean, kHits };
+
+inline Table race_sweep(const std::vector<std::size_t>& counts,
+                        const std::vector<sched::Scheduler>& comps,
+                        const BenchOptions& opt, RaceMetric metric,
+                        ThreadPool& pool) {
+  std::vector<std::string> header{"clusters"};
+  for (const auto& c : comps) header.emplace_back(c.name());
+  if (metric == RaceMetric::kMean) header.emplace_back("global-min");
+  Table t(std::move(header));
+
+  for (const std::size_t n : counts) {
+    exp::RaceConfig cfg;
+    cfg.clusters = n;
+    cfg.iterations = opt.iterations;
+    cfg.seed = opt.seed;
+    const exp::RaceResult r = exp::run_race(comps, cfg, pool);
+
+    std::vector<double> row;
+    row.reserve(comps.size() + 1);
+    for (std::size_t s = 0; s < comps.size(); ++s)
+      row.push_back(metric == RaceMetric::kMean
+                        ? r.makespan[s].mean()
+                        : static_cast<double>(r.hits[s]));
+    if (metric == RaceMetric::kMean) row.push_back(r.global_min.mean());
+    t.add_row(std::to_string(n), row, metric == RaceMetric::kMean ? 3 : 0);
+  }
+  return t;
+}
+
+}  // namespace gridcast::benchx

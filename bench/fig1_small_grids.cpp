@@ -1,0 +1,22 @@
+// Figure 1: mean completion time of a 1 MB broadcast, 2-10 clusters,
+// all seven heuristics, random Table 2 parameters.
+//
+// Expected shape (paper): FlatTree worst and growing with cluster count;
+// FEF clearly above the ECEF family; BottomUp between FEF and ECEF*;
+// the ECEF family around 3-3.5 s and nearly flat.
+
+#include "common.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(10000);
+  benchx::print_banner(
+      "Figure 1", "1 MB broadcast, 2-10 clusters, mean completion time (s)",
+      opt);
+  ThreadPool pool(opt.threads);
+  const std::vector<std::size_t> counts{2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Table t = benchx::race_sweep(counts, sched::paper_heuristics(), opt,
+                                     benchx::RaceMetric::kMean, pool);
+  benchx::emit(t, opt);
+  return 0;
+}

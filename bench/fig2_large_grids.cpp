@@ -1,0 +1,22 @@
+// Figure 2: mean completion time of a 1 MB broadcast for grids of up to 50
+// clusters (x = 5, 10, ..., 50), all seven heuristics.
+//
+// Expected shape (paper): FlatTree grows ~linearly to ~19 s at 50
+// clusters; FEF grows too; the ECEF family stays in the 3-3.7 s band.
+
+#include "common.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(1000);
+  benchx::print_banner(
+      "Figure 2", "1 MB broadcast, 5-50 clusters, mean completion time (s)",
+      opt);
+  ThreadPool pool(opt.threads);
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 5; n <= 50; n += 5) counts.push_back(n);
+  const Table t = benchx::race_sweep(counts, sched::paper_heuristics(), opt,
+                                     benchx::RaceMetric::kMean, pool);
+  benchx::emit(t, opt);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 3: the ECEF family alone (ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT),
+// 5-50 clusters — the zoomed comparison where the paper observes that all
+// four sit within a narrow band and that ECEF-LAT edges ahead as the
+// cluster count grows.
+
+#include "common.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(1500);
+  benchx::print_banner(
+      "Figure 3",
+      "1 MB broadcast, ECEF-family heuristics, mean completion time (s)",
+      opt);
+  ThreadPool pool(opt.threads);
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 5; n <= 50; n += 5) counts.push_back(n);
+  const Table t = benchx::race_sweep(counts, sched::ecef_family(), opt,
+                                     benchx::RaceMetric::kMean, pool);
+  benchx::emit(t, opt);
+  return 0;
+}

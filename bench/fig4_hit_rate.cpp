@@ -1,0 +1,27 @@
+// Figure 4: hit rate of the ECEF-family heuristics — how often each one
+// matches the per-iteration global minimum over all four techniques.
+//
+// Expected shape (paper): ECEF / ECEF-LA / ECEF-LAt hit rates decay as
+// clusters are added; ECEF-LAT stays roughly constant around 45%.
+// Ties credit every achiever, so rows can sum to more than the iteration
+// count (same convention as the paper's counts).
+
+#include "common.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(2000);
+  benchx::print_banner("Figure 4",
+                       "hits on the global minimum among the ECEF family "
+                       "(counts out of the iteration total)",
+                       opt);
+  ThreadPool pool(opt.threads);
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 5; n <= 50; n += 5) counts.push_back(n);
+  Table t = benchx::race_sweep(counts, sched::ecef_family(), opt,
+                               benchx::RaceMetric::kHits, pool);
+  benchx::emit(t, opt);
+
+  std::cout << "# hit rate = count / " << opt.iterations << '\n';
+  return 0;
+}

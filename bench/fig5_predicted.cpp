@@ -1,0 +1,39 @@
+// Figure 5: model-predicted completion time of a broadcast on the
+// 88-machine GRID5000 testbed (Table 3), message sizes up to 4.25 MiB,
+// all seven heuristics.
+//
+// Expected shape (paper): ECEF family < BottomUp < FlatTree at every
+// size; ECEF family stays under ~3 s at 4 MB while FlatTree is several
+// times slower.  Absolute seconds depend on our calibrated bandwidths
+// (DESIGN.md substitution table).
+
+#include "common.hpp"
+#include "exp/sweep.hpp"
+#include "topology/grid5000.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(1);
+  benchx::print_banner(
+      "Figure 5", "predicted broadcast time on the Table 3 testbed (s)", opt);
+
+  const topology::Grid grid = topology::grid5000_testbed();
+  // Prediction must mirror the executor's semantics: coordinators
+  // serialize relays and the local tree on one NIC (after-last-send).
+  sched::HeuristicOptions opts;
+  opts.completion = sched::CompletionModel::kAfterLastSend;
+  const auto comps = sched::paper_heuristics(opts);
+  const auto sizes = exp::default_size_ladder();
+  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes);
+
+  std::vector<std::string> header{"bytes"};
+  for (const auto& s : sweep.series) header.push_back(s.name);
+  Table t(std::move(header));
+  for (std::size_t i = 0; i < sweep.sizes.size(); ++i) {
+    std::vector<double> row;
+    for (const auto& s : sweep.series) row.push_back(s.completion[i]);
+    t.add_row(std::to_string(sweep.sizes[i]), row, 3);
+  }
+  benchx::emit(t, opt);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6: *measured* completion time on the Table 3 testbed — here,
+// measured on the discrete-event simulator that substitutes for the live
+// grid (DESIGN.md substitution table): every point-to-point message of the
+// two-level broadcast is executed, including receive overheads and
+// optional per-message jitter, plus the grid-unaware binomial tree the
+// paper labels "Default LAM".
+//
+// Expected shape (paper): measured tracks predicted (Fig. 5); ECEF family
+// best, DefaultLAM in between, FlatTree worst by several times.
+
+#include "common.hpp"
+#include "exp/sweep.hpp"
+#include "topology/grid5000.hpp"
+
+int main() {
+  using namespace gridcast;
+  const BenchOptions opt = BenchOptions::from_env(1);
+  const double jitter =
+      static_cast<double>(env_u64("GRIDCAST_JITTER_PCT", 5)) / 100.0;
+  benchx::print_banner(
+      "Figure 6",
+      "simulator-measured broadcast time on the Table 3 testbed (s), "
+      "jitter=" + std::to_string(jitter),
+      opt);
+
+  const topology::Grid grid = topology::grid5000_testbed();
+  const auto comps = sched::paper_heuristics();
+  const auto sizes = exp::default_size_ladder();
+  const auto sweep =
+      exp::measured_sweep(grid, 0, comps, sizes, {jitter}, opt.seed);
+
+  std::vector<std::string> header{"bytes"};
+  for (const auto& s : sweep.series) header.push_back(s.name);
+  Table t(std::move(header));
+  for (std::size_t i = 0; i < sweep.sizes.size(); ++i) {
+    std::vector<double> row;
+    for (const auto& s : sweep.series) row.push_back(s.completion[i]);
+    t.add_row(std::to_string(sweep.sizes[i]), row, 3);
+  }
+  benchx::emit(t, opt);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Microbenchmark: heuristic scheduling cost.  The paper's Section 7 notes
+// that "the algorithm complexity is a factor that must be considered when
+// implementing more elaborate techniques like ECEF-LAT" — this measures
+// exactly that: wall time to produce one schedule, per heuristic, per
+// cluster count.
+
+#include <benchmark/benchmark.h>
+
+#include "exp/param_ranges.hpp"
+#include "sched/optimal.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace gridcast;
+
+sched::Instance make_instance(std::size_t clusters) {
+  Rng rng = Rng::stream(42, clusters);
+  return exp::sample_instance(exp::ParamRanges::paper(), clusters, rng);
+}
+
+void BM_Heuristic(benchmark::State& state, sched::HeuristicKind kind) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const sched::Scheduler s(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.makespan(inst));
+  }
+}
+
+void BM_OptimalSearch(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::optimal_makespan(inst));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Heuristic, FlatTree, sched::HeuristicKind::kFlatTree)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_Heuristic, FEF, sched::HeuristicKind::kFef)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF, sched::HeuristicKind::kEcef)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LA, sched::HeuristicKind::kEcefLa)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LAt, sched::HeuristicKind::kEcefLaMin)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LAT, sched::HeuristicKind::kEcefLaMax)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_Heuristic, BottomUp, sched::HeuristicKind::kBottomUp)
+    ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK(BM_OptimalSearch)->Arg(4)->Arg(6)->Arg(7);

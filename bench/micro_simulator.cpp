@@ -1,0 +1,53 @@
+// Microbenchmark: discrete-event simulator throughput — engine event
+// processing and full broadcast executions on the Table 3 testbed.
+
+#include <benchmark/benchmark.h>
+
+#include "collective/alltoall.hpp"
+#include "collective/bcast.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/grid5000.hpp"
+
+namespace {
+
+using namespace gridcast;
+
+void BM_EngineThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (std::size_t i = 0; i < n; ++i)
+      e.at(static_cast<Time>(i) * 1e-6, [] {});
+    e.run();
+    benchmark::DoNotOptimize(e.processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_GridBinomialBcast(benchmark::State& state) {
+  const topology::Grid grid = topology::grid5000_testbed();
+  const Bytes m = static_cast<Bytes>(state.range(0));
+  for (auto _ : state) {
+    sim::Network net(grid, {}, 1);
+    benchmark::DoNotOptimize(
+        collective::run_grid_unaware_binomial(net, 0, m).completion);
+  }
+}
+
+void BM_NaiveAlltoall(benchmark::State& state) {
+  const topology::Grid grid = topology::grid5000_testbed();
+  for (auto _ : state) {
+    // 88 ranks -> 7656 point-to-point messages per run.
+    sim::Network net(grid, {}, 1);
+    benchmark::DoNotOptimize(
+        collective::run_naive_alltoall(net, KiB(4)).completion);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EngineThroughput)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_GridBinomialBcast)->Arg(1 << 20)->Arg(4 << 20);
+BENCHMARK(BM_NaiveAlltoall);

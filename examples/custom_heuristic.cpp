@@ -1,0 +1,117 @@
+// Extending gridcast with your own scheduling heuristic.
+//
+// The library's building blocks are deliberately open: a heuristic is any
+// function producing a causal SendOrder, and sched::EvalState exposes the
+// exact timing rules the evaluator uses, so custom strategies can make
+// decisions with the same cost model as the built-ins.
+//
+// The example implements "CriticalFirst": serve receivers in decreasing
+// T_j + cheapest-incoming-edge order (a static priority list, no per-round
+// rescoring), then races it against the paper's seven heuristics and the
+// exhaustive optimum on random Table 2 instances.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "exp/param_ranges.hpp"
+#include "sched/evaluate.hpp"
+#include "sched/optimal.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace gridcast;
+
+/// Static-priority heuristic: order receivers by how critical they are
+/// (internal broadcast time plus their cheapest reachable edge), then
+/// greedily attach each to the sender that delivers it earliest.
+sched::SendOrder critical_first_order(const sched::Instance& inst) {
+  const auto n = static_cast<ClusterId>(inst.clusters());
+
+  std::vector<ClusterId> receivers;
+  for (ClusterId c = 0; c < n; ++c)
+    if (c != inst.root()) receivers.push_back(c);
+
+  const auto criticality = [&](ClusterId j) {
+    Time cheapest_in = std::numeric_limits<Time>::infinity();
+    for (ClusterId i = 0; i < n; ++i)
+      if (i != j) cheapest_in = std::min(cheapest_in, inst.transfer(i, j));
+    return inst.T(j) + cheapest_in;
+  };
+  std::sort(receivers.begin(), receivers.end(),
+            [&](ClusterId a, ClusterId b) {
+              return criticality(a) > criticality(b);
+            });
+
+  sched::EvalState state(inst);
+  std::vector<bool> in_a(n, false);
+  in_a[inst.root()] = true;
+  sched::SendOrder order;
+  for (const ClusterId j : receivers) {
+    ClusterId best_i = kNoCluster;
+    Time best = std::numeric_limits<Time>::infinity();
+    for (ClusterId i = 0; i < n; ++i) {
+      if (!in_a[i]) continue;
+      const Time arrive = state.arrival_if(i, j);
+      if (arrive < best) {
+        best = arrive;
+        best_i = i;
+      }
+    }
+    order.push_back({best_i, j});
+    state.apply(best_i, j);
+    in_a[j] = true;
+  }
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gridcast;
+  constexpr std::size_t kClusters = 6;
+  constexpr std::uint64_t kIterations = 3000;
+
+  RunningStats custom, optimal_stats;
+  std::uint64_t custom_beats_all = 0;
+  auto comps = sched::paper_heuristics();
+  std::vector<RunningStats> builtin(comps.size());
+
+  for (std::uint64_t it = 0; it < kIterations; ++it) {
+    Rng rng = Rng::stream(7, it);
+    const auto inst =
+        exp::sample_instance(exp::ParamRanges::paper(), kClusters, rng);
+
+    const Time mine =
+        sched::evaluate_order(inst, critical_first_order(inst)).makespan;
+    custom.add(mine);
+    optimal_stats.add(sched::optimal_makespan(inst));
+
+    bool best = true;
+    for (std::size_t s = 0; s < comps.size(); ++s) {
+      const Time mk = comps[s].makespan(inst);
+      builtin[s].add(mk);
+      best &= mine <= mk + 1e-12;
+    }
+    custom_beats_all += best;
+  }
+
+  std::cout << "CriticalFirst vs the paper's heuristics (" << kClusters
+            << " clusters, " << kIterations << " random instances):\n\n";
+  Table t({"strategy", "mean makespan (s)", "vs optimal"});
+  t.add_row("CriticalFirst (custom)",
+            {custom.mean(), custom.mean() / optimal_stats.mean()}, 3);
+  for (std::size_t s = 0; s < comps.size(); ++s)
+    t.add_row(std::string(comps[s].name()),
+              {builtin[s].mean(), builtin[s].mean() / optimal_stats.mean()},
+              3);
+  t.add_row("(exhaustive optimum)", {optimal_stats.mean(), 1.0}, 3);
+  t.print(std::cout);
+  std::cout << "\nCriticalFirst matched-or-beat all seven on "
+            << custom_beats_all << "/" << kIterations << " instances\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Monte-Carlo heuristic race on random Table 2 grids (the Figs. 1-4
+// scenario): mean makespan and hit-rate per strategy for a few cluster
+// counts.  Usage: heuristic_race [clusters...]   (default: 5 10 20 40)
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "exp/montecarlo.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridcast;
+
+  std::vector<std::size_t> counts;
+  for (int i = 1; i < argc; ++i) {
+    const long v = std::strtol(argv[i], nullptr, 10);
+    if (v < 2) {
+      std::cerr << "cluster counts must be >= 2\n";
+      return 1;
+    }
+    counts.push_back(static_cast<std::size_t>(v));
+  }
+  if (counts.empty()) counts = {5, 10, 20, 40};
+
+  const BenchOptions opt = BenchOptions::from_env(2000);
+  ThreadPool pool(opt.threads);
+  const auto comps = sched::paper_heuristics();
+
+  for (const std::size_t n : counts) {
+    exp::RaceConfig cfg;
+    cfg.clusters = n;
+    cfg.iterations = opt.iterations;
+    cfg.seed = opt.seed;
+    const exp::RaceResult r = exp::run_race(comps, cfg, pool);
+
+    std::cout << "\n== " << n << " clusters, " << r.iterations
+              << " iterations ==\n";
+    Table t({"heuristic", "mean (s)", "stddev", "min", "max", "hit rate"});
+    for (std::size_t s = 0; s < r.names.size(); ++s)
+      t.add_row(r.names[s],
+                {r.makespan[s].mean(), r.makespan[s].sample_stddev(),
+                 r.makespan[s].min(), r.makespan[s].max(), r.hit_rate(s)},
+                3);
+    t.add_row("(global minimum)",
+              {r.global_min.mean(), r.global_min.sample_stddev(),
+               r.global_min.min(), r.global_min.max(), 1.0},
+              3);
+    t.print(std::cout);
+  }
+  return 0;
+}

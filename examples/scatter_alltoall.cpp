@@ -1,0 +1,58 @@
+// The paper's "future work": grid-aware scatter and all-to-all.  Runs the
+// naive and coordinator-routed variants of both patterns on the GRID5000
+// testbed and reports completion times, message counts and bytes moved.
+
+#include <iostream>
+
+#include "collective/alltoall.hpp"
+#include "collective/scatter.hpp"
+#include "support/table.hpp"
+#include "topology/grid5000.hpp"
+
+int main() {
+  using namespace gridcast;
+
+  const topology::Grid grid = topology::grid5000_testbed();
+  std::cout << "GRID5000 testbed: " << grid.total_nodes() << " machines, "
+            << grid.cluster_count() << " clusters\n\n";
+
+  Table t({"pattern", "variant", "completion (s)", "messages", "MBytes"});
+
+  for (const Bytes block : {KiB(64), KiB(256)}) {
+    {
+      sim::Network net(grid, {}, 1);
+      const auto r = collective::run_naive_scatter(net, 0, block);
+      t.add_row({"scatter " + std::to_string(block) + "B", "naive",
+                 Table::fmt(r.completion, 3), std::to_string(r.messages),
+                 Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
+    }
+    {
+      sim::Network net(grid, {}, 1);
+      const auto r = collective::run_hierarchical_scatter(net, 0, block);
+      t.add_row({"scatter " + std::to_string(block) + "B", "grid-aware",
+                 Table::fmt(r.completion, 3), std::to_string(r.messages),
+                 Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
+    }
+  }
+  for (const Bytes block : {KiB(4), KiB(16)}) {
+    {
+      sim::Network net(grid, {}, 1);
+      const auto r = collective::run_naive_alltoall(net, block);
+      t.add_row({"alltoall " + std::to_string(block) + "B", "naive",
+                 Table::fmt(r.completion, 3), std::to_string(r.messages),
+                 Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
+    }
+    {
+      sim::Network net(grid, {}, 1);
+      const auto r = collective::run_hierarchical_alltoall(net, block);
+      t.add_row({"alltoall " + std::to_string(block) + "B", "grid-aware",
+                 Table::fmt(r.completion, 3), std::to_string(r.messages),
+                 Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe grid-aware variants trade extra local messages for\n"
+               "one aggregated WAN message per cluster (pair), the same\n"
+               "inter/intra split the broadcast heuristics exploit.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "clustering/lowekamp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace gridcast::clustering {
+
+namespace {
+
+void check_matrix(const SquareMatrix<Time>& latency) {
+  const std::size_t n = latency.size();
+  if (n == 0) throw InvalidInput("empty latency matrix");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (latency(i, j) < 0.0)
+        throw InvalidInput("negative latency in matrix");
+      const Time a = latency(i, j);
+      const Time b = latency(j, i);
+      const Time tol = 1e-9 + 1e-6 * std::max(a, b);
+      if (std::abs(a - b) > tol)
+        throw InvalidInput("latency matrix must be symmetric");
+    }
+  }
+}
+
+/// Min/max pairwise latency across two node groups (or within one when
+/// `a == b`, skipping the diagonal).
+struct MinMax {
+  Time lo = std::numeric_limits<Time>::infinity();
+  Time hi = 0.0;
+};
+
+MinMax pair_range(const SquareMatrix<Time>& latency,
+                  const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  MinMax r;
+  for (const NodeId x : a) {
+    for (const NodeId y : b) {
+      if (x == y) continue;
+      const Time l = latency(x, y);
+      r.lo = std::min(r.lo, l);
+      r.hi = std::max(r.hi, l);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_homogeneous(const SquareMatrix<Time>& latency,
+                    const std::vector<NodeId>& nodes, double rho) {
+  GRIDCAST_ASSERT(rho >= 0.0, "tolerance must be >= 0");
+  if (nodes.size() < 2) return true;
+  const Time hi = pair_range(latency, nodes, nodes).hi;
+  // Reference: the members' best link to ANY node (global minimum), so a
+  // pair of mutual outliers cannot certify themselves as a cluster.
+  Time lo = std::numeric_limits<Time>::infinity();
+  const std::size_t n = latency.size();
+  for (const NodeId x : nodes)
+    for (std::size_t z = 0; z < n; ++z)
+      if (z != x) lo = std::min(lo, latency(x, z));
+  // All-zero latencies (e.g. idealised loopback) are trivially homogeneous.
+  if (hi == 0.0) return true;
+  if (lo == 0.0) return false;
+  return hi <= (1.0 + rho) * lo;
+}
+
+Clustering lowekamp_cluster(const SquareMatrix<Time>& latency, double rho) {
+  check_matrix(latency);
+  GRIDCAST_ASSERT(rho >= 0.0, "tolerance must be >= 0");
+  const std::size_t n = latency.size();
+
+  // Start from singletons; greedily merge the closest (complete-linkage)
+  // pair whose merge stays homogeneous; stop when no pair qualifies.
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    groups.push_back({static_cast<NodeId>(i)});
+
+  for (;;) {
+    std::size_t best_a = 0, best_b = 0;
+    Time best_d = std::numeric_limits<Time>::infinity();
+    bool found = false;
+    for (std::size_t a = 0; a < groups.size(); ++a) {
+      for (std::size_t b = a + 1; b < groups.size(); ++b) {
+        const Time d = pair_range(latency, groups[a], groups[b]).hi;
+        if (d >= best_d) continue;
+        std::vector<NodeId> merged = groups[a];
+        merged.insert(merged.end(), groups[b].begin(), groups[b].end());
+        if (!is_homogeneous(latency, merged, rho)) continue;
+        best_d = d;
+        best_a = a;
+        best_b = b;
+        found = true;
+      }
+    }
+    if (!found) break;
+    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(),
+                          groups[best_b].end());
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best_b));
+  }
+
+  // Canonical order: by smallest member id; members sorted.
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+
+  Clustering out;
+  out.groups = std::move(groups);
+  out.group_of.assign(n, 0);
+  for (std::uint32_t gi = 0; gi < out.groups.size(); ++gi)
+    for (const NodeId v : out.groups[gi]) out.group_of[v] = gi;
+  return out;
+}
+
+}  // namespace gridcast::clustering

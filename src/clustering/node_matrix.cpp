@@ -1,0 +1,50 @@
+#include "clustering/node_matrix.hpp"
+
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace gridcast::clustering {
+
+SquareMatrix<Time> synthesize_node_matrix(
+    const std::vector<std::uint32_t>& sizes,
+    const SquareMatrix<Time>& cluster_latency, double noise_frac, Rng& rng) {
+  GRIDCAST_ASSERT(sizes.size() == cluster_latency.size(),
+                  "sizes and cluster matrix disagree");
+  GRIDCAST_ASSERT(noise_frac >= 0.0 && noise_frac < 0.5,
+                  "noise fraction must stay well below the cluster gaps");
+
+  const std::uint32_t total =
+      std::accumulate(sizes.begin(), sizes.end(), 0u);
+  GRIDCAST_ASSERT(total >= 1, "no nodes to synthesise");
+
+  // Cluster id of every node.
+  std::vector<std::uint32_t> cluster_of;
+  cluster_of.reserve(total);
+  for (std::uint32_t c = 0; c < sizes.size(); ++c)
+    cluster_of.insert(cluster_of.end(), sizes[c], c);
+
+  SquareMatrix<Time> m(total, 0.0);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    for (std::uint32_t j = i + 1; j < total; ++j) {
+      const std::uint32_t a = cluster_of[i];
+      const std::uint32_t b = cluster_of[j];
+      const Time base = cluster_latency(a, b);
+      GRIDCAST_ASSERT(base > 0.0,
+                      "cluster latency must be positive for populated pairs");
+      Time v = base;
+      if (noise_frac > 0.0) {
+        double f = rng.normal(1.0, noise_frac);
+        const double lo = 1.0 - 2.0 * noise_frac;
+        const double hi = 1.0 + 2.0 * noise_frac;
+        f = f < lo ? lo : (f > hi ? hi : f);
+        v = base * f;
+      }
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace gridcast::clustering

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+/// Synthetic node-to-node latency matrices.
+///
+/// The clustering algorithm consumes a *full* N×N machine latency matrix —
+/// the thing ECO/NWS measured on a live testbed.  This helper expands a
+/// cluster-level description (sizes + cluster latency matrix, e.g. Table 3)
+/// into a node-level matrix, optionally perturbed with multiplicative
+/// noise, so the Section 7 preprocessing step can be reproduced offline.
+namespace gridcast::clustering {
+
+/// Expand cluster-level latencies into an N×N node matrix.
+///
+/// `sizes[c]` nodes belong to cluster c; `cluster_latency(c, c)` is the
+/// node-to-node latency inside c (must be > 0 whenever sizes[c] > 1), and
+/// `cluster_latency(a, b)` the latency between machines of a and b.
+/// `noise_frac > 0` applies truncated Gaussian multiplicative noise (the
+/// same draw for both directions, keeping the matrix symmetric).
+[[nodiscard]] SquareMatrix<Time> synthesize_node_matrix(
+    const std::vector<std::uint32_t>& sizes,
+    const SquareMatrix<Time>& cluster_latency, double noise_frac, Rng& rng);
+
+}  // namespace gridcast::clustering

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "support/types.hpp"
+
+/// All-to-all: the second "future work" pattern.
+///
+/// Every rank owes a distinct `block` of bytes to every other rank.  The
+/// naive personalized exchange sends all N·(N−1) blocks point-to-point —
+/// each WAN link carries size_a · size_b separate small messages.  The
+/// grid-aware variant routes cross-cluster traffic through coordinators:
+///   1. gather: each rank ships its remote-bound blocks to its coordinator
+///      (one local message per rank),
+///   2. exchange: coordinator c sends coordinator d one aggregate of
+///      size_c · size_d blocks (one WAN message per cluster pair),
+///   3. deliver: coordinator d forwards to each local rank the blocks
+///      addressed to it (one local message per rank per source cluster).
+/// Intra-cluster pairs always exchange directly.
+namespace gridcast::collective {
+
+struct AlltoallResult {
+  /// Per destination rank: the time its last inbound block arrived.
+  std::vector<Time> completed;
+  Time completion = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t wan_messages = 0;  ///< messages that crossed clusters
+  Bytes bytes = 0;
+  Bytes wan_bytes = 0;             ///< bytes that crossed clusters
+};
+
+/// Direct personalized exchange; rank r issues sends to r+1, r+2, ...
+/// (rotated start to avoid hammering rank 0 first — the classic
+/// round-robin schedule).
+[[nodiscard]] AlltoallResult run_naive_alltoall(sim::Network& net,
+                                                Bytes block);
+
+/// Coordinator-routed exchange (see header comment).
+[[nodiscard]] AlltoallResult run_hierarchical_alltoall(sim::Network& net,
+                                                       Bytes block);
+
+}  // namespace gridcast::collective

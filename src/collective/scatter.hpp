@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "support/types.hpp"
+
+/// Scatter: the paper's "future work" pattern, grid-aware vs naive.
+///
+/// In a scatter, the root holds one distinct `block` of bytes per rank.
+/// The naive algorithm sends every block point-to-point from the root; the
+/// grid-aware algorithm forwards each remote cluster's blocks to its
+/// coordinator as one aggregated message (one WAN crossing per cluster)
+/// and lets the coordinator distribute locally — the same inter/intra
+/// split the broadcast heuristics exploit.
+namespace gridcast::collective {
+
+struct ScatterResult {
+  /// Delivery time of each rank's block, indexed by global rank.
+  std::vector<Time> delivered;
+  Time completion = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t wan_messages = 0;  ///< messages that crossed clusters
+  Bytes bytes = 0;                 ///< total payload bytes moved
+  Bytes wan_bytes = 0;             ///< bytes that crossed clusters
+};
+
+/// Root coordinator of `root_cluster` sends each rank its block directly.
+[[nodiscard]] ScatterResult run_naive_scatter(sim::Network& net,
+                                              ClusterId root_cluster,
+                                              Bytes block);
+
+/// Aggregated two-level scatter (see header comment).  Remote clusters
+/// receive `size * block` bytes at the coordinator, then distribute.
+[[nodiscard]] ScatterResult run_hierarchical_scatter(sim::Network& net,
+                                                     ClusterId root_cluster,
+                                                     Bytes block);
+
+}  // namespace gridcast::collective

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/param_ranges.hpp"
+#include "sched/registry.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+/// Makespan distribution capture.
+///
+/// The paper reports only means (Figs. 1-3) and hit counts (Fig. 4); with
+/// 10000 iterations per point the distributions behind them are wide
+/// (T alone spans 20-3000 ms).  This harness retains enough shape per
+/// strategy — exact samples for small runs, fixed-grid histograms for
+/// large ones — to report quantiles and tail behaviour, which is where
+/// ECEF-LAT's slow-cluster insurance actually shows up.
+namespace gridcast::exp {
+
+struct DistributionConfig {
+  std::size_t clusters = 10;
+  std::uint64_t iterations = 2000;
+  std::uint64_t seed = 42;
+  ClusterId root = 0;
+  ParamRanges ranges = ParamRanges::paper();
+  /// Histogram range; makespans are clamped into it.  The default covers
+  /// everything Table 2 can produce at <= 50 clusters.
+  double hist_lo = 0.0;
+  double hist_hi = 30.0;
+  std::size_t hist_bins = 3000;
+};
+
+struct DistributionSeries {
+  std::string name;
+  RunningStats stats;
+  Histogram histogram;
+
+  DistributionSeries(std::string n, const DistributionConfig& cfg)
+      : name(std::move(n)),
+        histogram(cfg.hist_lo, cfg.hist_hi, cfg.hist_bins) {}
+
+  [[nodiscard]] double quantile(double q) const {
+    return histogram.quantile(q);
+  }
+};
+
+struct DistributionResult {
+  std::vector<DistributionSeries> series;  ///< one per strategy
+  std::uint64_t iterations = 0;
+};
+
+/// Run the race capturing full distributions.  Deterministic for a given
+/// seed regardless of the pool's worker count.
+[[nodiscard]] DistributionResult run_distribution(
+    const std::vector<sched::Scheduler>& comps, const DistributionConfig& cfg,
+    ThreadPool& pool);
+
+}  // namespace gridcast::exp

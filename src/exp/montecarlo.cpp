@@ -1,0 +1,87 @@
+#include "exp/montecarlo.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace gridcast::exp {
+
+double RaceResult::hit_rate(std::size_t s) const {
+  GRIDCAST_ASSERT(s < hits.size(), "strategy index out of range");
+  return iterations == 0
+             ? 0.0
+             : static_cast<double>(hits[s]) / static_cast<double>(iterations);
+}
+
+RaceResult run_race(const std::vector<sched::Scheduler>& comps,
+                    const RaceConfig& cfg, ThreadPool& pool) {
+  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
+  GRIDCAST_ASSERT(cfg.clusters >= 2, "a race needs at least two clusters");
+  cfg.ranges.validate();
+
+  struct Accumulator {
+    std::vector<RunningStats> makespan;
+    std::vector<std::uint64_t> hits;
+    RunningStats global_min;
+  };
+
+  // Partial accumulators are collected per chunk and merged in chunk
+  // order afterwards: RunningStats merging is not associative in floating
+  // point, so merge order must not depend on thread scheduling.
+  std::mutex collect_mu;
+  std::map<std::size_t, Accumulator> partials;
+
+  pool.parallel_for(
+      static_cast<std::size_t>(cfg.iterations),
+      [&](std::size_t lo, std::size_t hi) {
+        Accumulator acc;
+        acc.makespan.resize(comps.size());
+        acc.hits.assign(comps.size(), 0);
+        std::vector<Time> mk(comps.size());
+
+        for (std::size_t it = lo; it < hi; ++it) {
+          Rng rng = Rng::stream(cfg.seed, it);
+          const sched::Instance inst =
+              sample_instance(cfg.ranges, cfg.clusters, rng, cfg.root);
+
+          Time best = std::numeric_limits<Time>::infinity();
+          for (std::size_t s = 0; s < comps.size(); ++s) {
+            mk[s] = comps[s].makespan(inst);
+            acc.makespan[s].add(mk[s]);
+            best = std::min(best, mk[s]);
+          }
+          acc.global_min.add(best);
+          const Time cutoff = best * (1.0 + cfg.hit_epsilon);
+          for (std::size_t s = 0; s < comps.size(); ++s)
+            if (mk[s] <= cutoff) ++acc.hits[s];
+        }
+
+        std::lock_guard lk(collect_mu);
+        partials.emplace(lo, std::move(acc));
+      });
+
+  Accumulator total;
+  total.makespan.resize(comps.size());
+  total.hits.assign(comps.size(), 0);
+  for (auto& [lo, acc] : partials) {
+    for (std::size_t s = 0; s < comps.size(); ++s) {
+      total.makespan[s].merge(acc.makespan[s]);
+      total.hits[s] += acc.hits[s];
+    }
+    total.global_min.merge(acc.global_min);
+  }
+
+  RaceResult out;
+  out.names.reserve(comps.size());
+  for (const auto& c : comps) out.names.emplace_back(c.name());
+  out.makespan = std::move(total.makespan);
+  out.hits = std::move(total.hits);
+  out.global_min = total.global_min;
+  out.iterations = cfg.iterations;
+  return out;
+}
+
+}  // namespace gridcast::exp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/param_ranges.hpp"
+#include "sched/registry.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+/// The Monte-Carlo heuristic race behind Figs. 1–4.
+///
+/// Per iteration: draw a Table 2 instance, run every competing strategy on
+/// it, record each makespan, and credit a "hit" to every strategy whose
+/// makespan matches the iteration's global minimum (the paper's hit-rate
+/// metric; ties credit all achievers, which is why Fig. 4's counts sum to
+/// more than the iteration count).
+///
+/// Determinism: iteration i uses RNG stream (seed, i) regardless of which
+/// worker executes it, so results are bit-identical for any thread count.
+namespace gridcast::exp {
+
+struct RaceConfig {
+  std::size_t clusters = 10;
+  std::uint64_t iterations = 10000;
+  std::uint64_t seed = 42;
+  ClusterId root = 0;
+  ParamRanges ranges = ParamRanges::paper();
+  /// Relative tie tolerance for hit counting.
+  double hit_epsilon = 1e-9;
+};
+
+struct RaceResult {
+  std::vector<std::string> names;           ///< per strategy
+  std::vector<RunningStats> makespan;       ///< seconds, per strategy
+  std::vector<std::uint64_t> hits;          ///< global-minimum matches
+  RunningStats global_min;                  ///< the per-iteration minimum
+  std::uint64_t iterations = 0;
+
+  /// hits[s] / iterations.
+  [[nodiscard]] double hit_rate(std::size_t s) const;
+};
+
+/// Run the race.  `pool` may have zero workers (inline execution).
+[[nodiscard]] RaceResult run_race(const std::vector<sched::Scheduler>& comps,
+                                  const RaceConfig& cfg, ThreadPool& pool);
+
+}  // namespace gridcast::exp

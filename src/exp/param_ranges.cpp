@@ -1,0 +1,41 @@
+#include "exp/param_ranges.hpp"
+
+#include "support/error.hpp"
+
+namespace gridcast::exp {
+
+void ParamRanges::validate() const {
+  GRIDCAST_ASSERT(0.0 <= L_lo && L_lo <= L_hi, "bad latency range");
+  GRIDCAST_ASSERT(0.0 <= g_lo && g_lo <= g_hi, "bad gap range");
+  GRIDCAST_ASSERT(0.0 <= T_lo && T_lo <= T_hi, "bad broadcast-time range");
+}
+
+sched::Instance sample_instance(const ParamRanges& ranges,
+                                std::size_t clusters, Rng& rng,
+                                ClusterId root) {
+  ranges.validate();
+  GRIDCAST_ASSERT(clusters >= 1, "need at least one cluster");
+  GRIDCAST_ASSERT(root < clusters, "root out of range");
+
+  SquareMatrix<Time> g(clusters, 0.0);
+  SquareMatrix<Time> L(clusters, 0.0);
+  std::vector<Time> T(clusters, 0.0);
+  for (std::size_t c = 0; c < clusters; ++c)
+    T[c] = rng.uniform(ranges.T_lo, ranges.T_hi);
+  const Time shared_gap = rng.uniform(ranges.g_lo, ranges.g_hi);
+  for (std::size_t i = 0; i < clusters; ++i) {
+    for (std::size_t j = i + 1; j < clusters; ++j) {
+      const Time gv = ranges.gap_sampling == GapSampling::kSharedPerInstance
+                          ? shared_gap
+                          : rng.uniform(ranges.g_lo, ranges.g_hi);
+      const Time lv = rng.uniform(ranges.L_lo, ranges.L_hi);
+      g(i, j) = gv;
+      g(j, i) = gv;
+      L(i, j) = lv;
+      L(j, i) = lv;
+    }
+  }
+  return sched::Instance(root, std::move(g), std::move(L), std::move(T));
+}
+
+}  // namespace gridcast::exp

@@ -1,0 +1,67 @@
+#include "exp/sweep.hpp"
+
+#include "collective/bcast.hpp"
+#include "sched/evaluate.hpp"
+#include "support/error.hpp"
+
+namespace gridcast::exp {
+
+std::vector<Bytes> default_size_ladder() {
+  std::vector<Bytes> sizes;
+  for (Bytes m = KiB(256); m <= MiB(4.25); m += KiB(256)) sizes.push_back(m);
+  return sizes;
+}
+
+SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
+                            const std::vector<sched::Scheduler>& comps,
+                            std::span<const Bytes> sizes) {
+  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
+  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
+
+  SweepResult out;
+  out.sizes.assign(sizes.begin(), sizes.end());
+  out.series.resize(comps.size());
+  for (std::size_t s = 0; s < comps.size(); ++s)
+    out.series[s].name = comps[s].name();
+
+  for (const Bytes m : sizes) {
+    const sched::Instance inst = sched::Instance::from_grid(grid, root, m);
+    for (std::size_t s = 0; s < comps.size(); ++s)
+      out.series[s].completion.push_back(comps[s].makespan(inst));
+  }
+  return out;
+}
+
+SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,
+                           const std::vector<sched::Scheduler>& comps,
+                           std::span<const Bytes> sizes,
+                           sim::JitterConfig jitter, std::uint64_t seed) {
+  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
+  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
+
+  SweepResult out;
+  out.sizes.assign(sizes.begin(), sizes.end());
+  out.series.resize(comps.size() + 1);
+  out.series[0].name = "DefaultLAM";
+  for (std::size_t s = 0; s < comps.size(); ++s)
+    out.series[s + 1].name = comps[s].name();
+
+  std::uint64_t run_id = 0;
+  for (const Bytes m : sizes) {
+    {
+      sim::Network net(grid, jitter, seed + run_id++);
+      out.series[0].completion.push_back(
+          collective::run_grid_unaware_binomial(net, root, m).completion);
+    }
+    const sched::Instance inst = sched::Instance::from_grid(grid, root, m);
+    for (std::size_t s = 0; s < comps.size(); ++s) {
+      const sched::SendOrder order = comps[s].order(inst);
+      sim::Network net(grid, jitter, seed + run_id++);
+      out.series[s + 1].completion.push_back(
+          collective::run_hierarchical_bcast(net, root, order, m).completion);
+    }
+  }
+  return out;
+}
+
+}  // namespace gridcast::exp

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "sim/network.hpp"
+#include "topology/grid.hpp"
+
+/// Message-size sweeps over a concrete grid (Figs. 5 and 6).
+///
+/// "Predicted" numbers come from the pLogP cost model alone (the Fig. 5
+/// curves); "measured" numbers come from executing every point-to-point
+/// message of the full two-level broadcast on the discrete-event simulator
+/// (the Fig. 6 substitute, DESIGN.md substitution table), including the
+/// grid-unaware binomial baseline the paper labels "Default LAM".
+namespace gridcast::exp {
+
+/// One strategy's series over the sweep sizes.
+struct SweepSeries {
+  std::string name;
+  std::vector<Time> completion;  ///< seconds, aligned with the size ladder
+};
+
+struct SweepResult {
+  std::vector<Bytes> sizes;
+  std::vector<SweepSeries> series;
+};
+
+/// The paper's Fig. 5/6 x-axis: 256 KiB steps from 256 KiB to 4.25 MiB.
+[[nodiscard]] std::vector<Bytes> default_size_ladder();
+
+/// Model-predicted completion per size and scheduler (Fig. 5).
+[[nodiscard]] SweepResult predicted_sweep(
+    const topology::Grid& grid, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes);
+
+/// Simulator-measured completion per size and scheduler, plus the
+/// "DefaultLAM" grid-unaware binomial series (Fig. 6).  `jitter` perturbs
+/// per-message gap/latency; `seed` drives it.
+[[nodiscard]] SweepResult measured_sweep(
+    const topology::Grid& grid, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
+    sim::JitterConfig jitter, std::uint64_t seed);
+
+}  // namespace gridcast::exp

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/instance.hpp"
+
+/// Plain-text persistence for scheduling instances.
+///
+/// Grid operators measure parameters once and schedule many broadcasts;
+/// persisting the `Instance` decouples the (slow) measurement phase from
+/// scheduling, and makes experiments replayable from checked-in files.
+///
+/// Format (whitespace-separated, `#` comments allowed between records):
+///
+///     gridcast-instance v1
+///     clusters <n> root <r>
+///     T   <n values, seconds>
+///     g   <n*n values, row-major, seconds; diagonal ignored>
+///     L   <n*n values, row-major, seconds; diagonal ignored>
+///
+/// Parsing is strict: unknown headers, short rows or non-numeric fields
+/// throw `InvalidInput` with a description of the offending token.
+namespace gridcast::io {
+
+/// Serialise; exact round trip through read_instance (modulo text float
+/// precision: 17 significant digits are written).
+void write_instance(std::ostream& os, const sched::Instance& inst);
+
+/// Parse; throws InvalidInput on malformed input.
+[[nodiscard]] sched::Instance read_instance(std::istream& is);
+
+/// Convenience string forms.
+[[nodiscard]] std::string instance_to_string(const sched::Instance& inst);
+[[nodiscard]] sched::Instance instance_from_string(const std::string& text);
+
+}  // namespace gridcast::io

@@ -1,0 +1,126 @@
+#include "plogp/fit.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+
+std::vector<Bytes> FitConfig::default_sizes() {
+  std::vector<Bytes> sizes;
+  for (Bytes m = 1; m <= MiB(4); m *= 4) sizes.push_back(m);
+  return sizes;
+}
+
+namespace {
+
+Time median_of(std::vector<Time> xs) {
+  GRIDCAST_ASSERT(!xs.empty(), "median of empty vector");
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/// Pool-adjacent-violators: smallest monotone non-decreasing sequence in
+/// least-squares distance to the input.
+std::vector<Time> isotonic(std::vector<Time> y) {
+  struct Block {
+    double sum;
+    std::size_t count;
+    [[nodiscard]] double mean() const {
+      return sum / static_cast<double>(count);
+    }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(y.size());
+  for (const Time v : y) {
+    blocks.push_back({v, 1});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].mean() > blocks.back().mean()) {
+      blocks[blocks.size() - 2].sum += blocks.back().sum;
+      blocks[blocks.size() - 2].count += blocks.back().count;
+      blocks.pop_back();
+    }
+  }
+  std::vector<Time> out;
+  out.reserve(y.size());
+  for (const auto& b : blocks)
+    out.insert(out.end(), b.count, b.mean());
+  return out;
+}
+
+}  // namespace
+
+GapFunction fit_gap_function(
+    const std::vector<std::pair<Bytes, std::vector<Time>>>& observations) {
+  GRIDCAST_ASSERT(!observations.empty(), "no observations to fit");
+  std::vector<std::pair<Bytes, Time>> pts;
+  pts.reserve(observations.size());
+  for (const auto& [size, xs] : observations)
+    pts.emplace_back(size, median_of(xs));
+  std::sort(pts.begin(), pts.end());
+
+  std::vector<Time> ys;
+  ys.reserve(pts.size());
+  for (const auto& [_, y] : pts) ys.push_back(y);
+  ys = isotonic(std::move(ys));
+
+  std::vector<GapFunction::Sample> samples;
+  samples.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    samples.emplace_back(pts[i].first, ys[i]);
+  return GapFunction(std::move(samples));
+}
+
+Params fit_link(const SyntheticLink& link, const FitConfig& cfg, Rng& rng) {
+  GRIDCAST_ASSERT(!cfg.sizes.empty(), "fit requires at least one size");
+  GRIDCAST_ASSERT(cfg.repetitions > 0, "fit requires repetitions > 0");
+
+  // L + g(0) from the zero-byte round trip: RTT(0) = 2*(L + g(0)).
+  std::vector<Time> rtt0;
+  rtt0.reserve(static_cast<std::size_t>(cfg.repetitions));
+  for (int r = 0; r < cfg.repetitions; ++r)
+    rtt0.push_back(link.measure_rtt(Bytes{0}, rng));
+  const Time half_rtt0 = 0.5 * median_of(rtt0);
+
+  // g(m) per size from two saturation trains of different length: the
+  // k-message train totals transfer + (k-1)g, so differencing a 2k train
+  // against a k train cancels the latency term entirely:
+  //   g = (total(2k) - total(k)) / k.
+  std::vector<std::pair<Bytes, std::vector<Time>>> gap_obs;
+  gap_obs.reserve(cfg.sizes.size());
+  const int k = cfg.gap_train_length;
+  for (const Bytes m : cfg.sizes) {
+    std::vector<Time> xs;
+    xs.reserve(static_cast<std::size_t>(cfg.repetitions));
+    for (int r = 0; r < cfg.repetitions; ++r) {
+      const Time total_k =
+          link.measure_gap(m, k, rng) * static_cast<double>(k);
+      const Time total_2k =
+          link.measure_gap(m, 2 * k, rng) * static_cast<double>(2 * k);
+      const Time g = (total_2k - total_k) / static_cast<double>(k);
+      xs.push_back(g > 0.0 ? g : 0.0);
+    }
+    gap_obs.emplace_back(m, std::move(xs));
+  }
+
+  Params p;
+  p.g = fit_gap_function(gap_obs);
+  // L = half RTT(0) minus the zero-byte gap; clamp at zero for noisy runs.
+  const Time g0 = p.g(Bytes{0});
+  p.L = half_rtt0 > g0 ? half_rtt0 - g0 : 0.0;
+
+  // Overheads: modelled as a fixed fraction of the gap (see header).  The
+  // heuristics never read these, but the simulator charges them to CPUs.
+  std::vector<GapFunction::Sample> os_samples, or_samples;
+  for (const auto& [m, g] : p.g.samples()) {
+    os_samples.emplace_back(m, 0.1 * g);
+    or_samples.emplace_back(m, 0.1 * g);
+  }
+  p.os = GapFunction(std::move(os_samples));
+  p.orecv = GapFunction(std::move(or_samples));
+  p.validate();
+  return p;
+}
+
+}  // namespace gridcast::plogp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "plogp/params.hpp"
+#include "plogp/synthetic_link.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+/// pLogP parameter acquisition (Kielmann's measurement procedure).
+///
+/// "Fast measurement of LogP parameters for message passing platforms"
+/// (Kielmann, Bal, Verstoep, 2000) recovers the parameters as follows:
+///   * L       from the zero-byte round trip:  RTT(0) = 2L + 2g(0)
+///   * g(m)    from a saturation run: send k messages back-to-back, divide
+///   * os/or   from sender/receiver-side timers (we model them as a fixed
+///             fraction recovered from the measured gap; the scheduling
+///             heuristics only consume L and g)
+/// We reproduce this pipeline against a SyntheticLink so the full
+/// measurement → model → schedule chain from the paper's Section 7 runs.
+namespace gridcast::plogp {
+
+struct FitConfig {
+  std::vector<Bytes> sizes = default_sizes();  ///< sample message sizes
+  int gap_train_length = 16;  ///< messages per saturation measurement
+  int repetitions = 5;        ///< medians over this many repeats
+  /// Standard logarithmic size ladder: 1 B .. 4 MiB, powers of four.
+  [[nodiscard]] static std::vector<Bytes> default_sizes();
+};
+
+/// Measure a synthetic link and return the fitted pLogP parameter set.
+[[nodiscard]] Params fit_link(const SyntheticLink& link, const FitConfig& cfg,
+                              Rng& rng);
+
+/// Fit a GapFunction from explicit (size, seconds) observations, taking the
+/// median of repeated observations per size and enforcing monotonicity by
+/// isotonic (pool-adjacent-violators) smoothing — measured curves on real
+/// networks contain non-monotone noise the model must not amplify.
+[[nodiscard]] GapFunction fit_gap_function(
+    const std::vector<std::pair<Bytes, std::vector<Time>>>& observations);
+
+}  // namespace gridcast::plogp

@@ -1,0 +1,72 @@
+#include "plogp/gap_function.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+
+GapFunction::GapFunction(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  GRIDCAST_ASSERT(!samples_.empty(), "gap function needs at least one sample");
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    GRIDCAST_ASSERT(samples_[i].second >= 0.0, "gap value must be >= 0");
+    if (i > 0)
+      GRIDCAST_ASSERT(samples_[i - 1].first < samples_[i].first,
+                      "gap samples must have strictly increasing sizes");
+  }
+}
+
+GapFunction::GapFunction(std::initializer_list<Sample> samples)
+    : GapFunction(std::vector<Sample>(samples)) {}
+
+GapFunction GapFunction::constant(Time value) {
+  return GapFunction({{Bytes{0}, value}});
+}
+
+GapFunction GapFunction::affine(Time intercept, double bandwidth_Bps,
+                                Bytes max_size) {
+  GRIDCAST_ASSERT(bandwidth_Bps > 0.0, "bandwidth must be positive");
+  GRIDCAST_ASSERT(max_size > 0, "max size must be positive");
+  return GapFunction(
+      {{Bytes{0}, intercept},
+       {max_size,
+        intercept + static_cast<double>(max_size) / bandwidth_Bps}});
+}
+
+Time GapFunction::operator()(Bytes size) const {
+  GRIDCAST_ASSERT(!samples_.empty(), "evaluating empty gap function");
+  if (samples_.size() == 1) return samples_.front().second;
+
+  // Locate the segment [it-1, it] containing `size`.
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), size,
+      [](const Sample& s, Bytes v) { return s.first < v; });
+
+  const Sample *a, *b;
+  if (it == samples_.begin()) {
+    // Below the first sample: interpolate the first segment downwards but
+    // clamp at the first sample's value (no negative extrapolation).
+    return samples_.front().second;
+  }
+  if (it == samples_.end()) {
+    a = &samples_[samples_.size() - 2];
+    b = &samples_[samples_.size() - 1];
+  } else {
+    a = &*(it - 1);
+    b = &*it;
+  }
+  const double dx = static_cast<double>(b->first - a->first);
+  const double dy = b->second - a->second;
+  const double off = static_cast<double>(size) - static_cast<double>(a->first);
+  const Time v = a->second + dy / dx * off;
+  return v < 0.0 ? 0.0 : v;
+}
+
+bool GapFunction::is_monotone() const noexcept {
+  for (std::size_t i = 1; i < samples_.size(); ++i)
+    if (samples_[i].second < samples_[i - 1].second) return false;
+  return true;
+}
+
+}  // namespace gridcast::plogp

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+
+/// Message-size-dependent pLogP parameters.
+///
+/// pLogP (Kielmann et al., "Network performance-aware collective
+/// communication for clustered wide-area systems") extends LogP by making
+/// the gap and overheads *functions of the message size*: g(m), os(m),
+/// or(m).  In practice these functions are measured at a handful of sizes
+/// and linearly interpolated in between — which is exactly what this class
+/// implements.  Beyond the last sample the function extrapolates with the
+/// final segment's slope (the measured curve is bandwidth-dominated there).
+namespace gridcast::plogp {
+
+class GapFunction {
+ public:
+  /// A measured (message size, seconds) sample.
+  using Sample = std::pair<Bytes, Time>;
+
+  GapFunction() = default;
+
+  /// Build from samples; sizes must be strictly increasing and values
+  /// non-negative.  At least one sample is required.
+  explicit GapFunction(std::vector<Sample> samples);
+  GapFunction(std::initializer_list<Sample> samples);
+
+  /// Constant function (size-independent gap) — degenerate but handy for
+  /// the paper's Table 2 simulations where g is drawn as a single scalar.
+  [[nodiscard]] static GapFunction constant(Time value);
+
+  /// Affine function `intercept + size / bandwidth_Bps`, the classic
+  /// latency+bandwidth link model.
+  [[nodiscard]] static GapFunction affine(Time intercept,
+                                          double bandwidth_Bps,
+                                          Bytes max_size = MiB(64));
+
+  /// Evaluate at an arbitrary size (piecewise-linear, extrapolating).
+  [[nodiscard]] Time operator()(Bytes size) const;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// True when the function never decreases over its sampled range (a
+  /// sanity property real gap measurements satisfy).
+  [[nodiscard]] bool is_monotone() const noexcept;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace gridcast::plogp

@@ -1,0 +1,38 @@
+#include "plogp/params.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+
+void Params::validate() const {
+  GRIDCAST_ASSERT(L >= 0.0, "pLogP latency must be >= 0");
+  GRIDCAST_ASSERT(!g.empty(), "pLogP gap function missing");
+  GRIDCAST_ASSERT(!os.empty(), "pLogP send-overhead function missing");
+  GRIDCAST_ASSERT(!orecv.empty(), "pLogP receive-overhead function missing");
+  GRIDCAST_ASSERT(g.is_monotone(), "gap function must be monotone");
+  GRIDCAST_ASSERT(os.is_monotone(), "send overhead must be monotone");
+  GRIDCAST_ASSERT(orecv.is_monotone(), "receive overhead must be monotone");
+  for (const auto& [m, _] : g.samples()) {
+    GRIDCAST_ASSERT(g(m) + 1e-12 >= os(m),
+                    "gap must dominate the send overhead");
+  }
+}
+
+Params Params::latency_bandwidth(Time latency, double bandwidth_Bps,
+                                 Time per_message_overhead) {
+  Params p;
+  p.L = latency;
+  p.g = GapFunction::affine(per_message_overhead, bandwidth_Bps);
+  // Overheads: a small constant CPU cost plus a copy at memory speed.
+  // The copy rate is the *larger* of 10x the wire and ~2 GB/s: CPU-side
+  // message handling does not slow down just because the WAN is slow, but
+  // it also never beats the wire by less than an order of magnitude.
+  const double copy_Bps = std::max(bandwidth_Bps * 10.0, 2e9);
+  p.os = GapFunction::affine(per_message_overhead * 0.5, copy_Bps);
+  p.orecv = GapFunction::affine(per_message_overhead * 0.5, copy_Bps);
+  return p;
+}
+
+}  // namespace gridcast::plogp

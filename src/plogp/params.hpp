@@ -1,0 +1,42 @@
+#pragma once
+
+#include "plogp/gap_function.hpp"
+#include "support/types.hpp"
+
+/// The pLogP parameter set of one (directed) communication channel.
+namespace gridcast::plogp {
+
+/// pLogP: latency L plus size-dependent gap g(m), send overhead os(m) and
+/// receive overhead or(m).  P (process count) lives with the topology, not
+/// here.  The paper's cost of a coordinator-to-coordinator transfer is
+/// `g(m) + L` (the sender is busy for g(m); the payload lands L later).
+struct Params {
+  Time L = 0.0;        ///< one-way latency (seconds)
+  GapFunction g;       ///< gap: minimal interval between message injections
+  GapFunction os;      ///< send overhead (CPU busy time at the sender)
+  GapFunction orecv;   ///< receive overhead (CPU busy time at the receiver)
+
+  /// Validate invariants: L >= 0, all functions present and monotone,
+  /// g(m) >= os(m) for sampled sizes (the gap includes the send overhead by
+  /// definition).  Throws LogicError on violation.
+  void validate() const;
+
+  /// Sender-side cost of injecting one m-byte message (the NIC/channel is
+  /// busy for this long before the next injection may start).
+  [[nodiscard]] Time gap(Bytes m) const { return g(m); }
+
+  /// Time from send start until the receiver holds the full message:
+  /// g(m) + L (pLogP point-to-point completion, as used throughout the
+  /// paper's heuristic cost expressions).
+  [[nodiscard]] Time transfer_time(Bytes m) const { return g(m) + L; }
+
+  /// Convenience factory: a link characterised by latency + bandwidth,
+  /// with overheads a fixed fraction of the gap.  This is the synthetic
+  /// stand-in for parameters Kielmann's tool would measure on real NICs.
+  [[nodiscard]] static Params latency_bandwidth(Time latency,
+                                                double bandwidth_Bps,
+                                                Time per_message_overhead =
+                                                    us(10.0));
+};
+
+}  // namespace gridcast::plogp

@@ -1,0 +1,50 @@
+#include "plogp/synthetic_link.hpp"
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+
+SyntheticLink::SyntheticLink(const Config& cfg) : cfg_(cfg) {
+  GRIDCAST_ASSERT(cfg_.latency >= 0.0, "latency must be >= 0");
+  GRIDCAST_ASSERT(cfg_.bandwidth_Bps > 0.0, "bandwidth must be > 0");
+  GRIDCAST_ASSERT(cfg_.per_message_cost >= 0.0, "overhead must be >= 0");
+  GRIDCAST_ASSERT(cfg_.jitter_frac >= 0.0, "jitter must be >= 0");
+}
+
+Time SyntheticLink::true_gap(Bytes m) const noexcept {
+  return cfg_.per_message_cost +
+         static_cast<double>(m) / cfg_.bandwidth_Bps;
+}
+
+Time SyntheticLink::true_transfer(Bytes m) const noexcept {
+  return true_gap(m) + cfg_.latency;
+}
+
+Time SyntheticLink::jittered(Time t, Rng& rng) const {
+  if (cfg_.jitter_frac == 0.0) return t;
+  // Multiplicative noise truncated at ±3 sigma, never below 10% of t.
+  double f = rng.normal(1.0, cfg_.jitter_frac);
+  const double lo = 1.0 - 3.0 * cfg_.jitter_frac;
+  const double hi = 1.0 + 3.0 * cfg_.jitter_frac;
+  f = f < lo ? lo : (f > hi ? hi : f);
+  const Time v = t * f;
+  return v < 0.1 * t ? 0.1 * t : v;
+}
+
+Time SyntheticLink::measure_rtt(Bytes m, Rng& rng) const {
+  // m-byte ping one way, empty ack back.
+  const Time fwd = true_transfer(m);
+  const Time ack = true_transfer(Bytes{0});
+  return jittered(fwd + ack, rng);
+}
+
+Time SyntheticLink::measure_gap(Bytes m, int count, Rng& rng) const {
+  GRIDCAST_ASSERT(count > 0, "gap measurement needs at least one message");
+  // Streaming: first message completes after transfer, the rest are gap-
+  // limited; per-message time converges to the gap as count grows.
+  const Time total =
+      true_transfer(m) + static_cast<double>(count - 1) * true_gap(m);
+  return jittered(total, rng) / static_cast<double>(count);
+}
+
+}  // namespace gridcast::plogp

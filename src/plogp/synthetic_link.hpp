@@ -1,0 +1,49 @@
+#pragma once
+
+#include "plogp/params.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+/// Synthetic link: the measurement substrate substitute.
+///
+/// Kielmann's logp_mpi tool measures pLogP parameters on a live network by
+/// timing message round trips.  We have no live network, so this class
+/// plays the network's role: a ground-truth latency/bandwidth/overhead
+/// model that can "execute" sends and report noisy timings, from which
+/// `fit_from_samples` (fit.hpp) recovers pLogP parameters — exercising the
+/// same acquisition path the paper's modified MagPIe used.
+namespace gridcast::plogp {
+
+class SyntheticLink {
+ public:
+  struct Config {
+    Time latency = ms(5.0);          ///< one-way wire latency
+    double bandwidth_Bps = 10e6;     ///< sustained bandwidth
+    Time per_message_cost = us(50);  ///< fixed protocol/setup cost per send
+    double jitter_frac = 0.0;        ///< multiplicative Gaussian noise sigma
+  };
+
+  explicit SyntheticLink(const Config& cfg);
+
+  /// Ground-truth time the sender is busy injecting m bytes (the "gap").
+  [[nodiscard]] Time true_gap(Bytes m) const noexcept;
+
+  /// Ground-truth one-way delivery time of m bytes.
+  [[nodiscard]] Time true_transfer(Bytes m) const noexcept;
+
+  /// Simulated round-trip measurement of an m-byte ping and a zero-byte
+  /// ack, with jitter applied — what a measurement tool would observe.
+  [[nodiscard]] Time measure_rtt(Bytes m, Rng& rng) const;
+
+  /// Simulated gap measurement: time per message when streaming `count`
+  /// back-to-back messages (saturation measurement), with jitter.
+  [[nodiscard]] Time measure_gap(Bytes m, int count, Rng& rng) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] Time jittered(Time t, Rng& rng) const;
+  Config cfg_;
+};
+
+}  // namespace gridcast::plogp

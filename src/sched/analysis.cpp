@@ -1,0 +1,101 @@
+#include "sched/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gridcast::sched {
+
+ScheduleAnalysis analyze(const Instance& inst, const Schedule& s) {
+  const std::string why = describe_invalid(s, inst.clusters());
+  GRIDCAST_ASSERT(why.empty(), "analysing invalid schedule: " + why);
+
+  ScheduleAnalysis a;
+  a.clusters.resize(inst.clusters());
+  std::vector<ClusterId> parent(inst.clusters(), kNoCluster);
+
+  for (ClusterId c = 0; c < inst.clusters(); ++c) {
+    a.clusters[c].cluster = c;
+    a.clusters[c].finish = s.cluster_finish[c];
+  }
+
+  for (const auto& t : s.transfers) {
+    auto& snd = a.clusters[t.sender];
+    auto& rcv = a.clusters[t.receiver];
+    snd.busy += inst.g(t.sender, t.receiver);
+    ++snd.sends;
+    rcv.arrival = t.arrival;
+    rcv.depth = snd.depth + 1;
+    parent[t.receiver] = t.sender;
+  }
+
+  for (const auto& c : a.clusters)
+    a.tree_depth = std::max(a.tree_depth, c.depth);
+
+  // Bottleneck: the cluster attaining the makespan (first on ties).
+  a.bottleneck = static_cast<ClusterId>(
+      std::max_element(s.cluster_finish.begin(), s.cluster_finish.end()) -
+      s.cluster_finish.begin());
+
+  // Critical path: walk parents from the bottleneck back to the root.
+  for (ClusterId c = a.bottleneck; c != kNoCluster; c = parent[c]) {
+    a.critical_path.push_back(c);
+    a.clusters[c].on_critical_path = true;
+    if (c == s.root) break;
+  }
+  std::reverse(a.critical_path.begin(), a.critical_path.end());
+
+  // Mean sender utilisation over clusters that actually sent.
+  double util = 0.0;
+  std::uint32_t senders = 0;
+  for (const auto& c : a.clusters) {
+    if (c.sends == 0) continue;
+    ++senders;
+    util += s.makespan > 0.0 ? c.busy / s.makespan : 0.0;
+  }
+  a.mean_sender_utilisation = senders > 0 ? util / senders : 0.0;
+  return a;
+}
+
+std::string render_gantt(const Instance& inst, const Schedule& s,
+                         std::size_t width) {
+  GRIDCAST_ASSERT(width >= 16, "gantt needs a sane width");
+  const std::string why = describe_invalid(s, inst.clusters());
+  GRIDCAST_ASSERT(why.empty(), "rendering invalid schedule: " + why);
+
+  const Time span = s.makespan > 0.0 ? s.makespan : 1.0;
+  const auto col = [&](Time t) {
+    auto c = static_cast<std::size_t>(t / span * static_cast<double>(width - 1));
+    return std::min(c, width - 1);
+  };
+
+  // Rows: '.' idle, '=' NIC busy sending, '>' arrival instant,
+  // '#' internal broadcast window.
+  std::vector<std::string> rows(inst.clusters(), std::string(width, '.'));
+
+  std::vector<Time> arrival(inst.clusters(), 0.0);
+  for (const auto& t : s.transfers) {
+    const std::size_t lo = col(t.start);
+    const std::size_t hi = col(t.start + inst.g(t.sender, t.receiver));
+    for (std::size_t x = lo; x <= hi; ++x) rows[t.sender][x] = '=';
+    rows[t.receiver][col(t.arrival)] = '>';
+    arrival[t.receiver] = t.arrival;
+  }
+  for (ClusterId c = 0; c < inst.clusters(); ++c) {
+    if (inst.T(c) <= 0.0) continue;
+    const Time start = s.cluster_finish[c] - inst.T(c);
+    for (std::size_t x = col(start); x <= col(s.cluster_finish[c]); ++x)
+      if (rows[c][x] == '.') rows[c][x] = '#';
+  }
+
+  std::ostringstream os;
+  os << "0" << std::string(width - 2, ' ') << "t=" << span << "s\n";
+  for (ClusterId c = 0; c < inst.clusters(); ++c) {
+    os << rows[c] << "  c" << c << (c == s.root ? " (root)" : "") << '\n';
+  }
+  os << "legend: '=' sending  '>' arrival  '#' internal broadcast\n";
+  return os.str();
+}
+
+}  // namespace gridcast::sched

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// Post-hoc schedule analysis.
+///
+/// The paper's discussion repeatedly reasons about *why* a schedule is
+/// good or bad — which cluster sits on the critical path, whether senders
+/// were starved or saturated, how deep the relay tree grew.  This module
+/// computes those quantities from a timed schedule so examples and
+/// benches can explain results instead of just printing makespans.
+namespace gridcast::sched {
+
+/// Per-cluster utilisation and position in the relay tree.
+struct ClusterReport {
+  ClusterId cluster = kNoCluster;
+  Time arrival = 0.0;        ///< when its coordinator got the payload (root: 0)
+  Time busy = 0.0;           ///< total NIC occupation by its outgoing sends
+  std::uint32_t sends = 0;   ///< outgoing inter-cluster transfers
+  std::uint32_t depth = 0;   ///< hops from the root in the relay tree
+  Time finish = 0.0;         ///< internal completion (from the schedule)
+  bool on_critical_path = false;
+};
+
+/// Whole-schedule analysis.
+struct ScheduleAnalysis {
+  std::vector<ClusterReport> clusters;   ///< indexed by cluster id
+  ClusterId bottleneck = kNoCluster;     ///< cluster attaining the makespan
+  std::uint32_t tree_depth = 0;          ///< max relay depth
+  double mean_sender_utilisation = 0.0;  ///< busy / makespan over senders
+  /// Critical path from the root to the bottleneck cluster, as the list
+  /// of clusters traversed (root first).
+  std::vector<ClusterId> critical_path;
+};
+
+/// Analyse a timed schedule against its instance.
+[[nodiscard]] ScheduleAnalysis analyze(const Instance& inst,
+                                       const Schedule& s);
+
+/// Render a fixed-width ASCII Gantt chart of the schedule's transfers and
+/// internal broadcasts (one row per cluster), `width` characters wide.
+[[nodiscard]] std::string render_gantt(const Instance& inst,
+                                       const Schedule& s,
+                                       std::size_t width = 72);
+
+}  // namespace gridcast::sched

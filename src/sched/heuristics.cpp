@@ -1,0 +1,204 @@
+#include "sched/heuristics.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "sched/evaluate.hpp"
+#include "support/error.hpp"
+
+namespace gridcast::sched {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+/// Membership bookkeeping for the A/B set formalism.  `in_a[c]` is true
+/// once cluster c holds (or is committed to receive) the message.
+struct Sets {
+  explicit Sets(const Instance& inst)
+      : in_a(inst.clusters(), false), b_count(inst.clusters() - 1) {
+    in_a[inst.root()] = true;
+  }
+  void move_to_a(ClusterId c) {
+    GRIDCAST_ASSERT(!in_a[c], "cluster already in A");
+    in_a[c] = true;
+    --b_count;
+  }
+  std::vector<bool> in_a;
+  std::size_t b_count;
+};
+
+}  // namespace
+
+std::string_view to_string(HeuristicKind k) noexcept {
+  switch (k) {
+    case HeuristicKind::kFlatTree: return "FlatTree";
+    case HeuristicKind::kFef: return "FEF";
+    case HeuristicKind::kEcef: return "ECEF";
+    case HeuristicKind::kEcefLa: return "ECEF-LA";
+    case HeuristicKind::kEcefLaMin: return "ECEF-LAt";
+    case HeuristicKind::kEcefLaMax: return "ECEF-LAT";
+    case HeuristicKind::kBottomUp: return "BottomUp";
+  }
+  return "?";
+}
+
+SendOrder flat_tree_order(const Instance& inst) {
+  SendOrder order;
+  order.reserve(inst.clusters() - 1);
+  for (ClusterId j = 0; j < inst.clusters(); ++j)
+    if (j != inst.root()) order.push_back({inst.root(), j});
+  return order;
+}
+
+SendOrder fef_order(const Instance& inst, FefWeight weight) {
+  const auto n = static_cast<ClusterId>(inst.clusters());
+  Sets sets(inst);
+  SendOrder order;
+  order.reserve(n - 1);
+
+  const auto w = [&](ClusterId i, ClusterId j) {
+    return weight == FefWeight::kGapPlusLatency ? inst.transfer(i, j)
+                                                : inst.L(i, j);
+  };
+
+  while (sets.b_count > 0) {
+    ClusterId bi = kNoCluster, bj = kNoCluster;
+    Time best = kInf;
+    for (ClusterId i = 0; i < n; ++i) {
+      if (!sets.in_a[i]) continue;
+      for (ClusterId j = 0; j < n; ++j) {
+        if (sets.in_a[j]) continue;
+        const Time c = w(i, j);
+        if (c < best) {
+          best = c;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    order.push_back({bi, bj});
+    sets.move_to_a(bj);
+  }
+  return order;
+}
+
+SendOrder ecef_order(const Instance& inst, Lookahead la) {
+  const auto n = static_cast<ClusterId>(inst.clusters());
+  Sets sets(inst);
+  EvalState state(inst);
+  SendOrder order;
+  order.reserve(n - 1);
+
+  // F_j for every j still in B; recomputed per round (B shrinks).
+  std::vector<Time> lookahead(n, 0.0);
+  const auto recompute_lookahead = [&] {
+    if (la == Lookahead::kNone) return;
+    for (ClusterId j = 0; j < n; ++j) {
+      if (sets.in_a[j]) continue;
+      Time acc = la == Lookahead::kMaxEdgePlusT ? 0.0 : kInf;
+      Time sum = 0.0;
+      std::size_t count = 0;
+      for (ClusterId k = 0; k < n; ++k) {
+        if (sets.in_a[k] || k == j) continue;
+        switch (la) {
+          case Lookahead::kMinEdge:
+            acc = std::min(acc, inst.transfer(j, k));
+            break;
+          case Lookahead::kMinEdgePlusT:
+            acc = std::min(acc, inst.transfer(j, k) + inst.T(k));
+            break;
+          case Lookahead::kMaxEdgePlusT:
+            acc = std::max(acc, inst.transfer(j, k) + inst.T(k));
+            break;
+          case Lookahead::kAvgEdge:
+            sum += inst.transfer(j, k);
+            ++count;
+            break;
+          case Lookahead::kAvgAfterMove:
+            // Average over senders in the hypothetical A + {j}.
+            sum += inst.transfer(j, k);
+            ++count;
+            for (ClusterId i = 0; i < n; ++i) {
+              if (!sets.in_a[i]) continue;
+              sum += inst.transfer(i, k);
+              ++count;
+            }
+            break;
+          case Lookahead::kNone: break;
+        }
+      }
+      if (la == Lookahead::kAvgEdge || la == Lookahead::kAvgAfterMove) {
+        lookahead[j] = count == 0 ? 0.0 : sum / static_cast<double>(count);
+      } else {
+        // Last cluster in B: no forwarding ability needed.
+        lookahead[j] = (acc == kInf) ? 0.0 : acc;
+      }
+    }
+  };
+
+  while (sets.b_count > 0) {
+    recompute_lookahead();
+    ClusterId bi = kNoCluster, bj = kNoCluster;
+    Time best = kInf;
+    for (ClusterId i = 0; i < n; ++i) {
+      if (!sets.in_a[i]) continue;
+      const Time start = state.send_start(i);
+      for (ClusterId j = 0; j < n; ++j) {
+        if (sets.in_a[j]) continue;
+        const Time c = start + inst.transfer(i, j) + lookahead[j];
+        if (c < best) {
+          best = c;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    order.push_back({bi, bj});
+    state.apply(bi, bj);
+    sets.move_to_a(bj);
+  }
+  return order;
+}
+
+SendOrder bottomup_order(const Instance& inst, BottomUpPolicy policy) {
+  const auto n = static_cast<ClusterId>(inst.clusters());
+  Sets sets(inst);
+  EvalState state(inst);
+  SendOrder order;
+  order.reserve(n - 1);
+
+  while (sets.b_count > 0) {
+    // For every receiver j in B: the *best* sender and its cost; then pick
+    // the receiver whose best cost is the *worst* (max-min).
+    ClusterId bj = kNoCluster, bj_sender = kNoCluster;
+    Time worst_best = -kInf;
+    for (ClusterId j = 0; j < n; ++j) {
+      if (sets.in_a[j]) continue;
+      ClusterId bi = kNoCluster;
+      Time best = kInf;
+      for (ClusterId i = 0; i < n; ++i) {
+        if (!sets.in_a[i]) continue;
+        const Time rt =
+            policy == BottomUpPolicy::kReadyTimeAware ? state.send_start(i)
+                                                      : 0.0;
+        const Time c = rt + inst.transfer(i, j) + inst.T(j);
+        if (c < best) {
+          best = c;
+          bi = i;
+        }
+      }
+      if (best > worst_best) {
+        worst_best = best;
+        bj = j;
+        bj_sender = bi;
+      }
+    }
+    order.push_back({bj_sender, bj});
+    state.apply(bj_sender, bj);
+    sets.move_to_a(bj);
+  }
+  return order;
+}
+
+}  // namespace gridcast::sched

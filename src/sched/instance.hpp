@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "support/types.hpp"
+#include "topology/grid.hpp"
+
+/// The scheduling problem instance.
+///
+/// Heuristics never see topologies or gap functions — they operate on the
+/// paper's abstraction: for a fixed message size m, the inter-cluster gap
+/// matrix g_ij(m), the latency matrix L_ij, and the per-cluster internal
+/// broadcast time T_c.  Keeping g and L separate (instead of a single cost
+/// matrix) preserves the FEF ablation where the edge weight is the latency
+/// alone.
+namespace gridcast::sched {
+
+class Instance {
+ public:
+  /// Build from explicit matrices; g and L are indexed [sender][receiver],
+  /// diagonals ignored.  `T[c]` is cluster c's internal broadcast time.
+  Instance(ClusterId root, SquareMatrix<Time> g, SquareMatrix<Time> L,
+           std::vector<Time> T);
+
+  /// Derive the instance a grid poses for an m-byte broadcast rooted in
+  /// cluster `root` (g from the link gap functions, T from each cluster's
+  /// configured intra algorithm).
+  [[nodiscard]] static Instance from_grid(const topology::Grid& grid,
+                                          ClusterId root, Bytes m);
+
+  [[nodiscard]] std::size_t clusters() const noexcept { return T_.size(); }
+  [[nodiscard]] ClusterId root() const noexcept { return root_; }
+
+  [[nodiscard]] Time g(ClusterId i, ClusterId j) const { return g_(i, j); }
+  [[nodiscard]] Time L(ClusterId i, ClusterId j) const { return L_(i, j); }
+  [[nodiscard]] Time T(ClusterId c) const {
+    GRIDCAST_ASSERT(c < T_.size(), "cluster id out of range");
+    return T_[c];
+  }
+
+  /// The paper's transfer cost g_ij(m) + L_ij.
+  [[nodiscard]] Time transfer(ClusterId i, ClusterId j) const {
+    return g_(i, j) + L_(i, j);
+  }
+
+  /// Largest internal broadcast time — a component of every makespan
+  /// lower bound.
+  [[nodiscard]] Time max_T() const;
+
+  /// Simple makespan lower bound: every non-root cluster must receive via
+  /// its cheapest incoming edge and then broadcast internally; the root
+  /// must run its own internal broadcast.  Any valid schedule's makespan
+  /// is >= this.
+  [[nodiscard]] Time lower_bound() const;
+
+  void validate() const;
+
+ private:
+  ClusterId root_;
+  SquareMatrix<Time> g_;
+  SquareMatrix<Time> L_;
+  std::vector<Time> T_;
+};
+
+}  // namespace gridcast::sched

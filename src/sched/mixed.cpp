@@ -1,0 +1,23 @@
+#include "sched/mixed.hpp"
+
+namespace gridcast::sched {
+
+MixedStrategy::MixedStrategy(std::size_t threshold, HeuristicOptions opts)
+    : threshold_(threshold),
+      small_(HeuristicKind::kEcefLa, opts),
+      large_(HeuristicKind::kEcefLaMax, opts) {}
+
+HeuristicKind MixedStrategy::choice(std::size_t clusters) const noexcept {
+  return clusters <= threshold_ ? small_.kind() : large_.kind();
+}
+
+SendOrder MixedStrategy::order(const Instance& inst) const {
+  return inst.clusters() <= threshold_ ? small_.order(inst)
+                                       : large_.order(inst);
+}
+
+Schedule MixedStrategy::run(const Instance& inst) const {
+  return inst.clusters() <= threshold_ ? small_.run(inst) : large_.run(inst);
+}
+
+}  // namespace gridcast::sched

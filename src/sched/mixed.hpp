@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sched/registry.hpp"
+
+/// The paper's closing recommendation (Section 6): use performance-
+/// oriented heuristics (ECEF-LA) on small grids and the balance-oriented
+/// ECEF-LAT once the cluster count grows, because the latter's hit rate
+/// stays constant while the former's decays.
+namespace gridcast::sched {
+
+class MixedStrategy {
+ public:
+  /// `threshold`: cluster count at and below which the small-grid
+  /// heuristic is used.  The paper suggests "reduced" ≈ today's grids
+  /// (~10 clusters, the GRID5000 scale of Fig. 1).
+  explicit MixedStrategy(std::size_t threshold = 10,
+                         HeuristicOptions opts = {});
+
+  /// Which heuristic the strategy delegates to for this instance size.
+  [[nodiscard]] HeuristicKind choice(std::size_t clusters) const noexcept;
+
+  [[nodiscard]] SendOrder order(const Instance& inst) const;
+  [[nodiscard]] Schedule run(const Instance& inst) const;
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+ private:
+  std::size_t threshold_;
+  Scheduler small_;
+  Scheduler large_;
+};
+
+}  // namespace gridcast::sched

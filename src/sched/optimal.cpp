@@ -1,0 +1,136 @@
+#include "sched/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sched/evaluate.hpp"
+#include "sched/registry.hpp"
+#include "support/error.hpp"
+
+namespace gridcast::sched {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+/// DFS over send orders with two admissible prunes:
+///  1. the partial schedule's committed finish times only grow, so
+///     max(last_busy_c + T_c) over clusters holding the message is a LB;
+///  2. an undelivered j costs at least (earliest any current holder can
+///     inject) + (cheapest edge into j) + T_j.
+struct Search {
+  const Instance& inst;
+  CompletionModel model;
+  ClusterId n;
+  std::vector<Time> ready;     // kInf = not delivered
+  std::vector<Time> nic_free;
+  std::vector<Time> last_busy;
+  SendOrder current;
+  SendOrder best_order;
+  Time best = kInf;
+  std::size_t explored = 0;
+
+  Search(const Instance& i, CompletionModel m)
+      : inst(i),
+        model(m),
+        n(static_cast<ClusterId>(i.clusters())),
+        ready(i.clusters(), kInf),
+        nic_free(i.clusters(), 0.0),
+        last_busy(i.clusters(), 0.0) {
+    ready[i.root()] = 0.0;
+  }
+
+  [[nodiscard]] Time finish_base(ClusterId c) const {
+    return model == CompletionModel::kEager ? ready[c] : last_busy[c];
+  }
+
+  [[nodiscard]] Time lower_bound(std::size_t delivered) const {
+    Time lb = 0.0;
+    Time min_start = kInf;
+    for (ClusterId c = 0; c < n; ++c) {
+      if (ready[c] == kInf) continue;
+      lb = std::max(lb, finish_base(c) + inst.T(c));
+      min_start = std::min(min_start, std::max(ready[c], nic_free[c]));
+    }
+    if (delivered < n) {
+      for (ClusterId j = 0; j < n; ++j) {
+        if (ready[j] != kInf) continue;
+        Time cheapest_in = kInf;
+        for (ClusterId i = 0; i < n; ++i)
+          if (i != j) cheapest_in = std::min(cheapest_in, inst.transfer(i, j));
+        lb = std::max(lb, min_start + cheapest_in + inst.T(j));
+      }
+    }
+    return lb;
+  }
+
+  void dfs(std::size_t delivered) {
+    ++explored;
+    if (delivered == n) {
+      Time mk = 0.0;
+      for (ClusterId c = 0; c < n; ++c)
+        mk = std::max(mk, finish_base(c) + inst.T(c));
+      if (mk < best) {
+        best = mk;
+        best_order = current;
+      }
+      return;
+    }
+    if (lower_bound(delivered) >= best) return;
+
+    for (ClusterId i = 0; i < n; ++i) {
+      if (ready[i] == kInf) continue;
+      const Time start = std::max(ready[i], nic_free[i]);
+      for (ClusterId j = 0; j < n; ++j) {
+        if (ready[j] != kInf) continue;
+        // Apply (i -> j).
+        const Time save_nic = nic_free[i];
+        const Time save_busy_i = last_busy[i];
+        const Time arrival = start + inst.transfer(i, j);
+        nic_free[i] = start + inst.g(i, j);
+        last_busy[i] = std::max(last_busy[i], nic_free[i]);
+        ready[j] = arrival;
+        last_busy[j] = arrival;
+        current.push_back({i, j});
+
+        dfs(delivered + 1);
+
+        current.pop_back();
+        last_busy[j] = 0.0;
+        ready[j] = kInf;
+        last_busy[i] = save_busy_i;
+        nic_free[i] = save_nic;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+OptimalResult optimal_schedule(const Instance& inst, std::size_t max_clusters,
+                               CompletionModel model) {
+  if (inst.clusters() > max_clusters)
+    throw InvalidInput("optimal search limited to " +
+                       std::to_string(max_clusters) + " clusters, got " +
+                       std::to_string(inst.clusters()));
+
+  Search s(inst, model);
+  // Seed the incumbent with a good heuristic so pruning bites immediately.
+  s.best_order = ecef_order(inst, Lookahead::kMinEdge);
+  s.best = evaluate_order(inst, s.best_order, model).makespan;
+  s.dfs(1);
+
+  OptimalResult out;
+  out.schedule = evaluate_order(inst, s.best_order, model);
+  out.explored = s.explored;
+  return out;
+}
+
+Time optimal_makespan(const Instance& inst, std::size_t max_clusters,
+                      CompletionModel model) {
+  return optimal_schedule(inst, max_clusters, model).schedule.makespan;
+}
+
+}  // namespace gridcast::sched

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sched/evaluate.hpp"
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// Exhaustive optimal broadcast scheduling (small instances only).
+///
+/// Finding the optimal broadcast tree in a heterogeneous network is
+/// NP-complete (paper Section 1, after Bhat); the number of send orders is
+/// exponential in the cluster count.  For test oracles and the hit-rate
+/// discussion we provide a branch-and-bound search over all causal send
+/// orders under the evaluator's timing model.  Practical up to ~9 clusters.
+namespace gridcast::sched {
+
+struct OptimalResult {
+  Schedule schedule;
+  std::size_t explored = 0;  ///< DFS nodes visited (search-cost metric)
+};
+
+/// Exact minimum-makespan schedule under the given completion model.
+/// Throws InvalidInput when the instance exceeds `max_clusters` (guard
+/// against accidental exponential blowups).
+[[nodiscard]] OptimalResult optimal_schedule(
+    const Instance& inst, std::size_t max_clusters = 9,
+    CompletionModel model = CompletionModel::kEager);
+
+/// Convenience: just the optimal makespan.
+[[nodiscard]] Time optimal_makespan(
+    const Instance& inst, std::size_t max_clusters = 9,
+    CompletionModel model = CompletionModel::kEager);
+
+}  // namespace gridcast::sched

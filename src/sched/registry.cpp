@@ -1,0 +1,53 @@
+#include "sched/registry.hpp"
+
+#include "support/error.hpp"
+
+namespace gridcast::sched {
+
+Scheduler::Scheduler(HeuristicKind kind, HeuristicOptions opts)
+    : kind_(kind), opts_(opts) {}
+
+SendOrder Scheduler::order(const Instance& inst) const {
+  switch (kind_) {
+    case HeuristicKind::kFlatTree: return flat_tree_order(inst);
+    case HeuristicKind::kFef: return fef_order(inst, opts_.fef_weight);
+    case HeuristicKind::kEcef: return ecef_order(inst, Lookahead::kNone);
+    case HeuristicKind::kEcefLa: return ecef_order(inst, Lookahead::kMinEdge);
+    case HeuristicKind::kEcefLaMin:
+      return ecef_order(inst, Lookahead::kMinEdgePlusT);
+    case HeuristicKind::kEcefLaMax:
+      return ecef_order(inst, Lookahead::kMaxEdgePlusT);
+    case HeuristicKind::kBottomUp:
+      return bottomup_order(inst, opts_.bottomup);
+  }
+  GRIDCAST_ASSERT(false, "unknown heuristic kind");
+  return {};
+}
+
+Schedule Scheduler::run(const Instance& inst) const {
+  const SendOrder o = order(inst);
+  return evaluate_order(inst, o, opts_.completion);
+}
+
+Time Scheduler::makespan(const Instance& inst) const {
+  return run(inst).makespan;
+}
+
+std::vector<Scheduler> paper_heuristics(HeuristicOptions opts) {
+  return {Scheduler(HeuristicKind::kFlatTree, opts),
+          Scheduler(HeuristicKind::kFef, opts),
+          Scheduler(HeuristicKind::kEcef, opts),
+          Scheduler(HeuristicKind::kEcefLa, opts),
+          Scheduler(HeuristicKind::kEcefLaMin, opts),
+          Scheduler(HeuristicKind::kEcefLaMax, opts),
+          Scheduler(HeuristicKind::kBottomUp, opts)};
+}
+
+std::vector<Scheduler> ecef_family(HeuristicOptions opts) {
+  return {Scheduler(HeuristicKind::kEcef, opts),
+          Scheduler(HeuristicKind::kEcefLa, opts),
+          Scheduler(HeuristicKind::kEcefLaMin, opts),
+          Scheduler(HeuristicKind::kEcefLaMax, opts)};
+}
+
+}  // namespace gridcast::sched

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sched/evaluate.hpp"
+#include "sched/heuristics.hpp"
+
+/// Uniform driver around the heuristic zoo.
+namespace gridcast::sched {
+
+/// Tunable knobs shared by the ablation variants.
+struct HeuristicOptions {
+  FefWeight fef_weight = FefWeight::kLatencyOnly;
+  BottomUpPolicy bottomup = BottomUpPolicy::kReadyTimeAware;
+  /// How schedules are scored (selection is unaffected; see evaluate.hpp).
+  CompletionModel completion = CompletionModel::kEager;
+};
+
+/// One named, configured scheduling strategy.
+class Scheduler {
+ public:
+  explicit Scheduler(HeuristicKind kind, HeuristicOptions opts = {});
+
+  [[nodiscard]] HeuristicKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::string_view name() const noexcept {
+    return to_string(kind_);
+  }
+  [[nodiscard]] const HeuristicOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// Select the send order for the instance.
+  [[nodiscard]] SendOrder order(const Instance& inst) const;
+
+  /// Select and time: the full pipeline.
+  [[nodiscard]] Schedule run(const Instance& inst) const;
+
+  /// Shorthand when only the makespan matters (hot path of the
+  /// Monte-Carlo benches).
+  [[nodiscard]] Time makespan(const Instance& inst) const;
+
+ private:
+  HeuristicKind kind_;
+  HeuristicOptions opts_;
+};
+
+/// The seven strategies in the order of the paper's figures:
+/// FlatTree, FEF, ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT, BottomUp.
+[[nodiscard]] std::vector<Scheduler> paper_heuristics(
+    HeuristicOptions opts = {});
+
+/// The four ECEF-family strategies of Figs. 3–4:
+/// ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT.
+[[nodiscard]] std::vector<Scheduler> ecef_family(HeuristicOptions opts = {});
+
+}  // namespace gridcast::sched

@@ -1,0 +1,64 @@
+#include "sched/schedule.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gridcast::sched {
+
+void Schedule::print(std::ostream& os) const {
+  os << "broadcast from cluster " << root << ", makespan "
+     << makespan << " s\n";
+  for (const auto& t : transfers)
+    os << "  " << t.sender << " -> " << t.receiver << "  start " << t.start
+       << "  arrival " << t.arrival << '\n';
+  for (std::size_t c = 0; c < cluster_finish.size(); ++c)
+    os << "  cluster " << c << " finishes at " << cluster_finish[c] << '\n';
+}
+
+std::string describe_invalid(const Schedule& s, std::size_t clusters) {
+  std::ostringstream why;
+  if (s.root >= clusters) return "root out of range";
+  if (s.cluster_finish.size() != clusters)
+    return "finish vector size mismatch";
+  if (s.transfers.size() != clusters - 1)
+    return "expected exactly one transfer per non-root cluster";
+
+  std::vector<int> received(clusters, 0);
+  std::vector<Time> has_at(clusters, -1.0);  // -1: not yet
+  has_at[s.root] = 0.0;
+
+  for (const auto& t : s.transfers) {
+    if (t.sender >= clusters || t.receiver >= clusters)
+      return "transfer endpoint out of range";
+    if (t.receiver == s.root) return "root must never receive";
+    if (t.sender == t.receiver) return "self transfer";
+    if (has_at[t.sender] < 0.0)
+      return "sender " + std::to_string(t.sender) +
+             " transmitted before receiving";
+    if (t.start + 1e-12 < has_at[t.sender])
+      return "transfer starts before sender holds the message";
+    if (t.arrival < t.start) return "arrival precedes start";
+    if (++received[t.receiver] > 1)
+      return "cluster " + std::to_string(t.receiver) + " received twice";
+    has_at[t.receiver] = t.arrival;
+  }
+  for (std::size_t c = 0; c < clusters; ++c) {
+    if (c != s.root && received[c] != 1)
+      return "cluster " + std::to_string(c) + " never received";
+    if (s.cluster_finish[c] + 1e-12 < has_at[c])
+      return "cluster finishes before it holds the message";
+    if (s.makespan + 1e-12 < s.cluster_finish[c])
+      return "makespan below a cluster finish time";
+  }
+  return {};
+}
+
+bool is_valid(const Schedule& s, std::size_t clusters) {
+  return describe_invalid(s, clusters).empty();
+}
+
+}  // namespace gridcast::sched

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "support/types.hpp"
+
+/// Broadcast schedules: the heuristics' output.
+namespace gridcast::sched {
+
+/// One inter-cluster coordinator transfer.
+struct Transfer {
+  ClusterId sender = kNoCluster;
+  ClusterId receiver = kNoCluster;
+  Time start = 0.0;    ///< moment the sender begins injecting
+  Time arrival = 0.0;  ///< moment the receiver holds the payload
+
+  [[nodiscard]] bool operator==(const Transfer&) const = default;
+};
+
+/// The ordered sender→receiver pairs a heuristic selects, before timing.
+/// The order is significant: it fixes each sender's NIC sequence.
+struct SendPair {
+  ClusterId sender = kNoCluster;
+  ClusterId receiver = kNoCluster;
+
+  [[nodiscard]] bool operator==(const SendPair&) const = default;
+};
+using SendOrder = std::vector<SendPair>;
+
+/// A fully timed broadcast schedule.
+struct Schedule {
+  ClusterId root = kNoCluster;
+  std::vector<Transfer> transfers;      ///< in selection order
+  std::vector<Time> cluster_finish;     ///< last activity + T_c, per cluster
+  Time makespan = 0.0;                  ///< max of cluster_finish
+
+  /// Human-readable dump (one line per transfer plus the finish vector).
+  void print(std::ostream& os) const;
+};
+
+/// Structural validity: every non-root cluster appears exactly once as a
+/// receiver, the root never receives, every sender already held the
+/// message when its transfer started, and times are causally consistent.
+/// Returns an empty string when valid, else a description of the defect.
+[[nodiscard]] std::string describe_invalid(const Schedule& s,
+                                           std::size_t clusters);
+
+/// Convenience: true when describe_invalid() is empty.
+[[nodiscard]] bool is_valid(const Schedule& s, std::size_t clusters);
+
+}  // namespace gridcast::sched

@@ -1,0 +1,28 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace gridcast::sim {
+
+void Engine::at(Time t, Callback cb) {
+  GRIDCAST_ASSERT(t + 1e-15 >= now_, "cannot schedule into the past");
+  GRIDCAST_ASSERT(static_cast<bool>(cb), "null callback");
+  queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(cb)});
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the callback is wasteful, so pop into a local through extraction.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+}  // namespace gridcast::sim

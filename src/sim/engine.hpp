@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/types.hpp"
+
+/// Discrete-event simulation core.
+///
+/// A minimal calendar: callbacks scheduled at absolute times, executed in
+/// (time, insertion-sequence) order so simultaneous events fire
+/// deterministically.  This is the substrate substituting for the paper's
+/// live GRID5000 runs (DESIGN.md substitution table).
+namespace gridcast::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t` (>= now, enforced).
+  void at(Time t, Callback cb);
+
+  /// Schedule `cb` after a delay (>= 0) from now.
+  void after(Time delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+
+  /// Current simulation time (0 before run()).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Run until the calendar drains.  Returns the time of the last event.
+  Time run();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Events currently pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace gridcast::sim

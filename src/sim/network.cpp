@@ -1,0 +1,67 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gridcast::sim {
+
+Network::Network(const topology::Grid& grid, JitterConfig jitter,
+                 std::uint64_t seed)
+    : grid_(grid),
+      jitter_(jitter),
+      rng_(Rng::stream(seed, 0xD15C0)),
+      ranks_(grid.total_nodes()),
+      nic_free_(grid.total_nodes(), 0.0) {
+  GRIDCAST_ASSERT(jitter_.frac >= 0.0 && jitter_.frac < 0.5,
+                  "jitter fraction out of range");
+  locate_.reserve(ranks_);
+  for (NodeId r = 0; r < ranks_; ++r) locate_.push_back(grid.locate(r));
+}
+
+double Network::jitter_factor() {
+  if (jitter_.frac == 0.0) return 1.0;
+  double f = rng_.normal(1.0, jitter_.frac);
+  const double lo = 1.0 - 3.0 * jitter_.frac;
+  const double hi = 1.0 + 3.0 * jitter_.frac;
+  return std::clamp(f, std::max(lo, 0.05), hi);
+}
+
+Time Network::nic_free(NodeId rank) const {
+  GRIDCAST_ASSERT(rank < ranks_, "rank out of range");
+  return nic_free_[rank];
+}
+
+SendTiming Network::send(NodeId from, NodeId to, Bytes m,
+                         std::function<void(Time)> on_delivered) {
+  GRIDCAST_ASSERT(from < ranks_ && to < ranks_, "rank out of range");
+  GRIDCAST_ASSERT(from != to, "self send");
+
+  const auto [fc, fl] = locate_[from];
+  const auto [tc, tl] = locate_[to];
+  const plogp::Params& p =
+      fc == tc ? grid_.cluster(fc).intra() : grid_.link(fc, tc);
+
+  SendTiming t;
+  t.start = std::max(engine_.now(), nic_free_[from]);
+  const Time gap = p.g(m) * jitter_factor();
+  const Time lat = p.L * jitter_factor();
+  t.injected = t.start + gap;
+  t.delivered = t.injected + lat + p.orecv(m);
+
+  nic_free_[from] = t.injected;
+  ++messages_;
+  bytes_ += m;
+  if (fc != tc) {
+    ++inter_messages_;
+    inter_bytes_ += m;
+  }
+
+  if (on_delivered) {
+    engine_.at(t.delivered,
+               [cb = std::move(on_delivered), when = t.delivered] { cb(when); });
+  }
+  return t;
+}
+
+}  // namespace gridcast::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// Error handling for gridcast.
+///
+/// Policy (Core Guidelines E.2/E.3): programming errors (violated
+/// preconditions) throw `LogicError`; invalid external inputs (malformed
+/// topology files, bad CLI values) throw `InvalidInput`.  Hot paths use
+/// `GRIDCAST_ASSERT`, which compiles to a cheap branch and throws with file
+/// and line context — benchmarks run with assertions on, since schedule
+/// validity is part of what we measure.
+namespace gridcast {
+
+/// Violated internal invariant or precondition.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Malformed external input (files, options, user-supplied matrices).
+class InvalidInput : public std::runtime_error {
+ public:
+  explicit InvalidInput(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace gridcast
+
+/// Precondition / invariant check that survives NDEBUG builds.
+#define GRIDCAST_ASSERT(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::gridcast::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,7 @@
+#include "support/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// has a concrete object for the module and to catch ODR issues early.
+namespace gridcast {
+static_assert(sizeof(Rng) <= 32, "Rng must stay cheap to copy per iteration");
+}  // namespace gridcast

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/error.hpp"
+
+/// Deterministic, splittable random number generation.
+///
+/// Monte-Carlo experiments are split across worker threads; to make results
+/// independent of the thread count (and reproducible under a single seed),
+/// every iteration derives its own statistically independent stream via
+/// `Rng::stream(seed, iteration)` instead of sharing one sequential
+/// generator.  The core generator is SplitMix64 (Steele et al., "Fast
+/// Splittable Pseudorandom Number Generators"), which passes BigCrush and is
+/// trivially seedable from a hash of (seed, stream).
+namespace gridcast {
+
+/// 64-bit splittable PRNG with uniform helpers.
+class Rng {
+ public:
+  /// Seed a root stream.
+  explicit Rng(std::uint64_t seed) noexcept : state_(mix_seed(seed)) {}
+
+  /// Derive the generator for an independent stream (e.g. one Monte-Carlo
+  /// iteration).  Streams for distinct `stream_id` are decorrelated by a
+  /// double SplitMix64 finalizer over the (seed, id) pair.
+  [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                  std::uint64_t stream_id) noexcept {
+    Rng r(seed ^ finalize(stream_id + 0x9e3779b97f4a7c15ULL));
+    r.next();  // decouple from the raw seed mix
+    return r;
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    return finalize(z);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    // 53 random mantissa bits → uniform on [0,1) without rounding bias.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    GRIDCAST_ASSERT(lo <= hi, "uniform(lo,hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  Requires n > 0.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t n) {
+    GRIDCAST_ASSERT(n > 0, "below(n) requires n > 0");
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    GRIDCAST_ASSERT(lo <= hi, "between(lo,hi) requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Standard normal via Marsaglia polar method (for link jitter).
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double k = std::numeric_limits<double>::epsilon();  // guard log(0)
+    (void)k;
+    const double f = __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+    spare_ = v * f;
+    have_spare_ = true;
+    return u * f;
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename Range>
+  void shuffle(Range& r) {
+    const auto n = static_cast<std::uint64_t>(r.size());
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = below(i);
+      using std::swap;
+      swap(r[i - 1], r[j]);
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t finalize(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  [[nodiscard]] static std::uint64_t mix_seed(std::uint64_t seed) noexcept {
+    return finalize(seed + 0x2545f4914f6cdd1dULL);
+  }
+
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace gridcast

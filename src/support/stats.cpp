@@ -1,0 +1,87 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridcast {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
+double RunningStats::sem() const noexcept {
+  return n_ == 0 ? 0.0 : sample_stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  GRIDCAST_ASSERT(hi > lo, "histogram range must be non-empty");
+  GRIDCAST_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& o) {
+  GRIDCAST_ASSERT(o.counts_.size() == counts_.size() && o.lo_ == lo_ &&
+                      o.hi_ == hi_,
+                  "merging incompatible histograms");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  GRIDCAST_ASSERT(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  GRIDCAST_ASSERT(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + width_;
+}
+
+double Histogram::quantile(double q) const {
+  GRIDCAST_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  GRIDCAST_ASSERT(total_ > 0, "quantile of empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0
+                          : (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double SampleSet::quantile(double q) {
+  GRIDCAST_ASSERT(!xs_.empty(), "quantile of empty sample set");
+  GRIDCAST_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+}  // namespace gridcast

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+/// Streaming statistics used by the Monte-Carlo experiment harness.
+namespace gridcast {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+/// Mergeable (Chan et al.) so per-thread accumulators can be combined.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double d = o.mean_ - mean_;
+    mean_ += d * nb / (na + nb);
+    m2_ += o.m2_ + d * d * na * nb / (na + nb);
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  /// Sample (Bessel-corrected) variance; 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sample_stddev() const noexcept;
+  /// Standard error of the mean (sample stddev / sqrt(n)).
+  [[nodiscard]] double sem() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.  Used to inspect makespan distributions behind the paper's
+/// mean-only plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& o);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact quantiles over a retained sample vector (small experiments only).
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void merge(const SampleSet& o) {
+    xs_.insert(xs_.end(), o.xs_.begin(), o.xs_.end());
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  /// Exact quantile by nearest-rank with linear interpolation; sorts lazily.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+}  // namespace gridcast

@@ -1,0 +1,76 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gridcast {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GRIDCAST_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GRIDCAST_ASSERT(cells.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& key, const std::vector<double>& values,
+                    int precision) {
+  GRIDCAST_ASSERT(values.size() + 1 == header_.size(),
+                  "row width must match header width");
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(key);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  GRIDCAST_ASSERT(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << cells[c];
+      os << (c == 0 ? std::right : std::right);
+    }
+    os << '\n';
+  };
+  line(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << (c == 0 ? "" : ",") << cells[c];
+    os << '\n';
+  };
+  line(header_);
+  for (const auto& r : rows_) line(r);
+}
+
+}  // namespace gridcast

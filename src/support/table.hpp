@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Tabular output for the benchmark harness.
+///
+/// Every bench binary prints the same rows/series as the paper's tables and
+/// figures; `Table` renders them either as an aligned console table or as
+/// CSV (for re-plotting with gnuplot, which is what the paper used).
+namespace gridcast {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a formatted row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: build a row from doubles with fixed precision.
+  void add_row(const std::string& key, const std::vector<double>& values,
+               int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV rendering (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with the given precision (shared helper).
+  [[nodiscard]] static std::string fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridcast

@@ -1,0 +1,87 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "support/error.hpp"
+
+namespace gridcast {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ must be set
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = threads_.size();
+  if (workers == 0) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(lo + chunk, n);
+      queue_.emplace([&, lo, hi] {
+        try {
+          body(lo, hi);
+        } catch (...) {
+          std::lock_guard elk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard dlk(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::default_workers() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? hc - 1 : 0;
+}
+
+}  // namespace gridcast

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// A small work-stealing-free thread pool with a blocking `parallel_for`.
+///
+/// The Monte-Carlo harness runs thousands of independent schedule
+/// evaluations; `parallel_for` splits the index range into contiguous chunks
+/// (one per worker by default) so per-thread accumulators merge cheaply.
+/// Determinism: work is partitioned by *index*, never by arrival order, and
+/// every iteration seeds its own RNG stream, so results are identical for
+/// any worker count, including 0 (inline execution).
+namespace gridcast {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` executes everything inline on the calling thread
+  /// (useful on single-core machines and in unit tests).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Run `body(begin, end)` over disjoint chunks covering [0, n); blocks
+  /// until all chunks finish.  Exceptions from chunks are rethrown (first
+  /// one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Suggested worker count: hardware concurrency minus one, at least 0.
+  [[nodiscard]] static std::size_t default_workers() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gridcast

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Fundamental scalar types shared by every gridcast module.
+///
+/// All times are kept in *seconds* as `double`; the paper mixes milliseconds
+/// (Table 2) and microseconds (Table 3), so a single canonical unit avoids an
+/// entire class of unit bugs.  Conversion helpers are provided for literals.
+namespace gridcast {
+
+/// Time in seconds.
+using Time = double;
+
+/// Message size in bytes.
+using Bytes = std::uint64_t;
+
+/// Index of a cluster within a Grid.
+using ClusterId = std::uint32_t;
+
+/// Index of a node (process/machine) within a Grid or Cluster.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no cluster" (e.g. the root has no parent).
+inline constexpr ClusterId kNoCluster = static_cast<ClusterId>(-1);
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Convert milliseconds to seconds.
+[[nodiscard]] constexpr Time ms(double v) noexcept { return v * 1e-3; }
+
+/// Convert microseconds to seconds.
+[[nodiscard]] constexpr Time us(double v) noexcept { return v * 1e-6; }
+
+/// Convert seconds to milliseconds (for reporting).
+[[nodiscard]] constexpr double to_ms(Time t) noexcept { return t * 1e3; }
+
+/// Convert seconds to microseconds (for reporting).
+[[nodiscard]] constexpr double to_us(Time t) noexcept { return t * 1e6; }
+
+/// Mebibytes to bytes (message-size literals; the paper's "1 MB" is 2^20).
+[[nodiscard]] constexpr Bytes MiB(double v) noexcept {
+  return static_cast<Bytes>(v * 1048576.0);
+}
+
+/// Kibibytes to bytes.
+[[nodiscard]] constexpr Bytes KiB(double v) noexcept {
+  return static_cast<Bytes>(v * 1024.0);
+}
+
+}  // namespace gridcast

@@ -1,0 +1,42 @@
+#include "topology/comm_level.hpp"
+
+namespace gridcast::topology {
+
+std::string_view to_string(CommLevel l) noexcept {
+  switch (l) {
+    case CommLevel::kWan: return "WAN-TCP";
+    case CommLevel::kLan: return "LAN-TCP";
+    case CommLevel::kLocalhost: return "localhost-TCP";
+    case CommLevel::kSharedMemory: return "shared-memory";
+  }
+  return "?";
+}
+
+CommLevel classify_latency(Time latency) noexcept {
+  if (latency >= ms(2.0)) return CommLevel::kWan;
+  if (latency >= us(100.0)) return CommLevel::kLan;
+  if (latency >= us(10.0)) return CommLevel::kLocalhost;
+  return CommLevel::kSharedMemory;
+}
+
+LatencyRange typical_latency(CommLevel l) noexcept {
+  switch (l) {
+    case CommLevel::kWan: return {ms(2.0), ms(50.0)};
+    case CommLevel::kLan: return {us(100.0), ms(1.0)};
+    case CommLevel::kLocalhost: return {us(10.0), us(100.0)};
+    case CommLevel::kSharedMemory: return {us(0.5), us(10.0)};
+  }
+  return {0.0, 0.0};
+}
+
+BandwidthRange typical_bandwidth(CommLevel l) noexcept {
+  switch (l) {
+    case CommLevel::kWan: return {1e6, 10e6};         // 1-10 MB/s (2005 WAN)
+    case CommLevel::kLan: return {50e6, 120e6};       // fast/gig ethernet
+    case CommLevel::kLocalhost: return {200e6, 1e9};  // loopback
+    case CommLevel::kSharedMemory: return {1e9, 10e9};
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace gridcast::topology

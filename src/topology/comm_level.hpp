@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/types.hpp"
+
+/// Communication levels (paper Table 1, after Karonis/MPICH-G2).
+///
+/// Grid networks are hierarchical: WAN-TCP (level 0) > LAN-TCP (1) >
+/// localhost-TCP (2) > shared memory / vendor MPI (3).  The levels order
+/// links by latency; multi-level collective algorithms overlap
+/// communication *across* levels.  gridcast uses the level only as a
+/// classification/reporting device — the heuristics consume raw pLogP
+/// values — but the generator synthesises links per level, which is how
+/// the simulated topologies inherit grid structure.
+namespace gridcast::topology {
+
+enum class CommLevel : std::uint8_t {
+  kWan = 0,           ///< wide-area TCP (inter-site)
+  kLan = 1,           ///< local-area TCP (intra-site, inter-cluster)
+  kLocalhost = 2,     ///< same host, loopback TCP
+  kSharedMemory = 3,  ///< shared memory / vendor MPI / Myrinet
+};
+
+[[nodiscard]] std::string_view to_string(CommLevel l) noexcept;
+
+/// Classify a one-way latency into its level, using the magnitude gaps
+/// separating the rows of Table 1: >= 2 ms → WAN, >= 100 µs → LAN,
+/// >= 10 µs → localhost, below → shared memory.
+[[nodiscard]] CommLevel classify_latency(Time latency) noexcept;
+
+/// Representative latency range [lo, hi) for synthesising a link of the
+/// given level (used by the random grid generator).
+struct LatencyRange {
+  Time lo;
+  Time hi;
+};
+[[nodiscard]] LatencyRange typical_latency(CommLevel l) noexcept;
+
+/// Representative bandwidth range in bytes/second for the level.
+struct BandwidthRange {
+  double lo;
+  double hi;
+};
+[[nodiscard]] BandwidthRange typical_bandwidth(CommLevel l) noexcept;
+
+}  // namespace gridcast::topology

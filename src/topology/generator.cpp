@@ -1,0 +1,51 @@
+#include "topology/generator.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "topology/comm_level.hpp"
+
+namespace gridcast::topology {
+
+Grid random_grid(const GeneratorConfig& cfg, Rng& rng) {
+  GRIDCAST_ASSERT(cfg.clusters >= 1, "need at least one cluster");
+  GRIDCAST_ASSERT(cfg.sites >= 1, "need at least one site");
+  GRIDCAST_ASSERT(cfg.min_cluster_size >= 1 &&
+                      cfg.min_cluster_size <= cfg.max_cluster_size,
+                  "invalid cluster size range");
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(cfg.clusters);
+  std::vector<std::uint32_t> site_of;
+  site_of.reserve(cfg.clusters);
+
+  for (std::uint32_t c = 0; c < cfg.clusters; ++c) {
+    const auto size = static_cast<std::uint32_t>(rng.between(
+        cfg.min_cluster_size, cfg.max_cluster_size));
+    const Time lat = rng.uniform(cfg.intra_latency_lo, cfg.intra_latency_hi);
+    const double bw =
+        rng.uniform(cfg.intra_bandwidth_lo, cfg.intra_bandwidth_hi);
+    clusters.emplace_back("cluster" + std::to_string(c), size,
+                          plogp::Params::latency_bandwidth(lat, bw));
+    site_of.push_back(c % cfg.sites);
+  }
+
+  Grid grid(std::move(clusters));
+  for (ClusterId i = 0; i < cfg.clusters; ++i) {
+    for (ClusterId j = static_cast<ClusterId>(i + 1); j < cfg.clusters; ++j) {
+      const CommLevel level =
+          site_of[i] == site_of[j] ? CommLevel::kLan : CommLevel::kWan;
+      const auto [llo, lhi] = typical_latency(level);
+      const auto [blo, bhi] = typical_bandwidth(level);
+      grid.set_link_symmetric(
+          i, j,
+          plogp::Params::latency_bandwidth(rng.uniform(llo, lhi),
+                                           rng.uniform(blo, bhi)));
+    }
+  }
+  grid.validate();
+  return grid;
+}
+
+}  // namespace gridcast::topology

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+#include "topology/grid.hpp"
+
+/// Random structured-grid synthesis.
+///
+/// Produces grids with the hierarchy of real multi-site platforms: clusters
+/// are assigned to `sites`; links inside a site are LAN-class, links across
+/// sites WAN-class, with latencies/bandwidths drawn from the Table 1 level
+/// ranges (comm_level.hpp).  Used by the simulator tests and the extension
+/// benches; the paper's Figs. 1–4 use the flat Table 2 parameter ranges
+/// instead (exp/param_ranges.hpp), which bypass topology synthesis.
+namespace gridcast::topology {
+
+struct GeneratorConfig {
+  std::uint32_t clusters = 6;
+  std::uint32_t sites = 3;           ///< clusters are spread round-robin
+  std::uint32_t min_cluster_size = 2;
+  std::uint32_t max_cluster_size = 32;
+  Time intra_latency_lo = us(20.0);  ///< node-to-node latency inside clusters
+  Time intra_latency_hi = us(120.0);
+  double intra_bandwidth_lo = 80e6;  ///< bytes/s inside clusters
+  double intra_bandwidth_hi = 120e6;
+};
+
+/// Synthesise a random grid.  Deterministic for a given RNG state.
+[[nodiscard]] Grid random_grid(const GeneratorConfig& cfg, Rng& rng);
+
+}  // namespace gridcast::topology

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "support/matrix.hpp"
+#include "topology/grid.hpp"
+
+/// The paper's Section 7 testbed (Table 3): 88 GRID5000 machines in six
+/// logical clusters.
+namespace gridcast::topology {
+
+/// Number of logical clusters in the testbed.
+inline constexpr std::size_t kGrid5000Clusters = 6;
+
+/// The measured inter-/intra-cluster latency matrix of Table 3, in
+/// seconds.  Diagonal entries are the node-to-node latency inside the
+/// cluster (singleton clusters 3 and 4 have none; we store 0).
+[[nodiscard]] SquareMatrix<Time> grid5000_latency_matrix();
+
+/// Cluster sizes of Table 3: {31, 29, 6, 1, 1, 20}.
+[[nodiscard]] std::vector<std::uint32_t> grid5000_sizes();
+
+/// Build the full 88-machine testbed grid.
+///
+/// Latencies are the paper's measured values; bandwidths were *not*
+/// published, so we calibrate them per link class (DESIGN.md §2):
+///   * intra-site LAN links (< 1 ms)      : 100 MB/s
+///   * Orsay/IDPOT <-> Toulouse (~5.2 ms) : 4 MB/s
+///   * Orsay <-> IDPOT (~12.2 ms)         : 1 MB/s
+///   * node-to-node inside clusters       : 110 MB/s (GigE era)
+/// These reproduce the Fig. 5/6 magnitudes (ECEF family < 3 s at 4 MB,
+/// Flat Tree several times slower).
+[[nodiscard]] Grid grid5000_testbed();
+
+}  // namespace gridcast::topology

@@ -1,0 +1,155 @@
+#include "clustering/lowekamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/node_matrix.hpp"
+#include "support/rng.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridcast::clustering {
+namespace {
+
+/// Build a symmetric matrix from an initializer grid.
+SquareMatrix<Time> matrix(std::initializer_list<std::initializer_list<double>>
+                              rows_us) {
+  SquareMatrix<Time> m(rows_us.size());
+  std::size_t r = 0;
+  for (const auto& row : rows_us) {
+    std::size_t c = 0;
+    for (const double v : row) m(r, c++) = us(v);
+    ++r;
+  }
+  return m;
+}
+
+TEST(Lowekamp, SingleNodeIsOneGroup) {
+  SquareMatrix<Time> m(1, 0.0);
+  const auto result = lowekamp_cluster(m, 0.3);
+  EXPECT_EQ(result.group_count(), 1u);
+  EXPECT_EQ(result.groups[0], std::vector<NodeId>{0});
+}
+
+TEST(Lowekamp, TwoCloseNodesMerge) {
+  const auto m = matrix({{0, 50}, {50, 0}});
+  const auto result = lowekamp_cluster(m, 0.3);
+  EXPECT_EQ(result.group_count(), 1u);
+}
+
+TEST(Lowekamp, TwoSitesSeparate) {
+  // Two pairs, LAN inside (50 us), WAN across (10000 us).
+  const auto m = matrix({{0, 50, 10000, 10000},
+                         {50, 0, 10000, 10000},
+                         {10000, 10000, 0, 55},
+                         {10000, 10000, 55, 0}});
+  const auto result = lowekamp_cluster(m, 0.3);
+  ASSERT_EQ(result.group_count(), 2u);
+  EXPECT_EQ(result.groups[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(result.groups[1], (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Lowekamp, GroupOfIsInverse) {
+  const auto m = matrix({{0, 50, 10000}, {50, 0, 10000}, {10000, 10000, 0}});
+  const auto result = lowekamp_cluster(m, 0.3);
+  for (std::size_t g = 0; g < result.groups.size(); ++g)
+    for (const NodeId v : result.groups[g])
+      EXPECT_EQ(result.group_of[v], g);
+}
+
+TEST(Lowekamp, OutlierPairStaysSeparate) {
+  // The IDPOT singleton situation: nodes 0,1 form a real cluster at 60;
+  // nodes 2,3 sit 242 from each other but 60 from the cluster.  A
+  // within-group-only criterion would merge 2 and 3; the global-minimum
+  // reference must keep them apart.
+  const auto m = matrix({{0, 36, 60, 60},
+                         {36, 0, 60, 60},
+                         {60, 60, 0, 242},
+                         {60, 60, 242, 0}});
+  const auto result = lowekamp_cluster(m, 0.3);
+  ASSERT_EQ(result.group_count(), 3u);
+  EXPECT_EQ(result.groups[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(result.groups[1], std::vector<NodeId>{2});
+  EXPECT_EQ(result.groups[2], std::vector<NodeId>{3});
+}
+
+TEST(Lowekamp, ToleranceControlsMergeDepth) {
+  // 47.56 vs 62.10: ratio 1.306 - the Orsay split of Table 3.
+  const auto m = matrix({{0, 47.56, 62.10, 62.10},
+                         {47.56, 0, 62.10, 62.10},
+                         {62.10, 62.10, 0, 47.92},
+                         {62.10, 62.10, 47.92, 0}});
+  EXPECT_EQ(lowekamp_cluster(m, 0.30).group_count(), 2u);  // split
+  EXPECT_EQ(lowekamp_cluster(m, 0.35).group_count(), 1u);  // merged
+}
+
+TEST(Lowekamp, IsHomogeneousSingleton) {
+  const auto m = matrix({{0, 100}, {100, 0}});
+  EXPECT_TRUE(is_homogeneous(m, {0}, 0.3));
+}
+
+TEST(Lowekamp, IsHomogeneousUsesGlobalReference) {
+  const auto m = matrix({{0, 36, 60}, {36, 0, 60}, {60, 60, 0}});
+  EXPECT_TRUE(is_homogeneous(m, {0, 1}, 0.3));
+  // {0, 2}: pair latency 60 vs node 0's best link 36 -> 1.67 > 1.3.
+  EXPECT_FALSE(is_homogeneous(m, {0, 2}, 0.3));
+}
+
+TEST(Lowekamp, AsymmetricMatrixRejected) {
+  SquareMatrix<Time> m(2, 0.0);
+  m(0, 1) = us(10);
+  m(1, 0) = us(20);
+  EXPECT_THROW((void)lowekamp_cluster(m, 0.3), InvalidInput);
+}
+
+TEST(Lowekamp, NegativeLatencyRejected) {
+  SquareMatrix<Time> m(2, 0.0);
+  m(0, 1) = -1.0;
+  m(1, 0) = -1.0;
+  EXPECT_THROW((void)lowekamp_cluster(m, 0.3), InvalidInput);
+}
+
+TEST(Lowekamp, EmptyMatrixRejected) {
+  SquareMatrix<Time> m;
+  EXPECT_THROW((void)lowekamp_cluster(m, 0.3), InvalidInput);
+}
+
+TEST(Lowekamp, RecoversTable3ClusterMap) {
+  // The paper's Section 7 preprocessing: 88 machines -> 6 logical
+  // clusters of sizes {31, 29, 6, 1, 1, 20}.
+  auto lat = topology::grid5000_latency_matrix();
+  for (std::size_t c = 0; c < lat.size(); ++c)
+    if (lat(c, c) == 0.0) lat(c, c) = us(50.0);
+  Rng rng(7);
+  const auto nodes = synthesize_node_matrix(topology::grid5000_sizes(), lat,
+                                            0.02, rng);
+  const auto result = lowekamp_cluster(nodes, 0.30);
+  ASSERT_EQ(result.group_count(), 6u);
+  std::vector<std::size_t> sizes;
+  for (const auto& g : result.groups) sizes.push_back(g.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{31, 29, 6, 1, 1, 20}));
+}
+
+class LowekampSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowekampSeedSweep, PartitionIsAlwaysComplete) {
+  auto lat = topology::grid5000_latency_matrix();
+  for (std::size_t c = 0; c < lat.size(); ++c)
+    if (lat(c, c) == 0.0) lat(c, c) = us(50.0);
+  Rng rng(GetParam());
+  const auto nodes = synthesize_node_matrix(topology::grid5000_sizes(), lat,
+                                            0.03, rng);
+  const auto result = lowekamp_cluster(nodes, 0.30);
+  // Whatever the noise does to borderline merges, the output must be a
+  // partition of all 88 nodes.
+  std::size_t total = 0;
+  for (const auto& g : result.groups) total += g.size();
+  EXPECT_EQ(total, 88u);
+  EXPECT_EQ(result.group_of.size(), 88u);
+  // WAN-separated sites can never fuse.
+  EXPECT_GE(result.group_count(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowekampSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 13, 99));
+
+}  // namespace
+}  // namespace gridcast::clustering

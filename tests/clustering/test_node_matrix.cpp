@@ -1,0 +1,80 @@
+#include "clustering/node_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace gridcast::clustering {
+namespace {
+
+SquareMatrix<Time> cluster_lat() {
+  SquareMatrix<Time> m(2, 0.0);
+  m(0, 0) = us(50);
+  m(1, 1) = us(40);
+  m(0, 1) = ms(10);
+  m(1, 0) = ms(10);
+  return m;
+}
+
+TEST(NodeMatrix, SizesAddUp) {
+  Rng rng(1);
+  const auto m = synthesize_node_matrix({3, 2}, cluster_lat(), 0.0, rng);
+  EXPECT_EQ(m.size(), 5u);
+}
+
+TEST(NodeMatrix, ZeroNoiseIsExact) {
+  Rng rng(1);
+  const auto m = synthesize_node_matrix({3, 2}, cluster_lat(), 0.0, rng);
+  // Intra cluster 0 pairs.
+  EXPECT_DOUBLE_EQ(m(0, 1), us(50));
+  EXPECT_DOUBLE_EQ(m(1, 2), us(50));
+  // Intra cluster 1 pair.
+  EXPECT_DOUBLE_EQ(m(3, 4), us(40));
+  // Cross pairs.
+  EXPECT_DOUBLE_EQ(m(0, 3), ms(10));
+  EXPECT_DOUBLE_EQ(m(2, 4), ms(10));
+  // Diagonal zero.
+  EXPECT_DOUBLE_EQ(m(2, 2), 0.0);
+}
+
+TEST(NodeMatrix, AlwaysSymmetric) {
+  Rng rng(7);
+  const auto m = synthesize_node_matrix({4, 3}, cluster_lat(), 0.1, rng);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    for (std::size_t j = 0; j < m.size(); ++j)
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+}
+
+TEST(NodeMatrix, NoiseStaysBounded) {
+  Rng rng(7);
+  const auto m = synthesize_node_matrix({4, 4}, cluster_lat(), 0.05, rng);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = i + 1; j < m.size(); ++j) {
+      const Time base = (i < 4) == (j < 4) ? (i < 4 ? us(50) : us(40))
+                                           : ms(10);
+      EXPECT_GE(m(i, j), base * 0.9);
+      EXPECT_LE(m(i, j), base * 1.1);
+    }
+  }
+}
+
+TEST(NodeMatrix, SizeMismatchThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)synthesize_node_matrix({3}, cluster_lat(), 0.0, rng),
+               LogicError);
+}
+
+TEST(NodeMatrix, ZeroLatencyForPopulatedPairThrows) {
+  SquareMatrix<Time> m(1, 0.0);  // intra latency 0 but 2 nodes
+  Rng rng(1);
+  EXPECT_THROW((void)synthesize_node_matrix({2}, m, 0.0, rng), LogicError);
+}
+
+TEST(NodeMatrix, ExcessiveNoiseRejected) {
+  Rng rng(1);
+  EXPECT_THROW((void)synthesize_node_matrix({2}, cluster_lat(), 0.6, rng),
+               LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::clustering

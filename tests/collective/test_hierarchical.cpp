@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "collective/bcast.hpp"
+#include "sched/evaluate.hpp"
+#include "sched/instance.hpp"
+#include "sched/registry.hpp"
+
+namespace gridcast::collective {
+namespace {
+
+plogp::Params bare(Time L, Time g0, double bw) {
+  plogp::Params p;
+  p.L = L;
+  p.g = plogp::GapFunction::affine(g0, bw);
+  p.os = plogp::GapFunction::constant(0.0);
+  p.orecv = plogp::GapFunction::constant(0.0);
+  return p;
+}
+
+/// Three clusters with zero-overhead parameters: the executor must equal
+/// the analytic evaluator under the after-last-send completion model.
+topology::Grid bare_grid() {
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("a", 4, bare(us(50), us(10), 1e8));
+  cs.emplace_back("b", 3, bare(us(60), us(10), 1e8));
+  cs.emplace_back("c", 5, bare(us(40), us(10), 1e8));
+  topology::Grid g(std::move(cs));
+  g.set_link_symmetric(0, 1, bare(ms(10), us(100), 2e6));
+  g.set_link_symmetric(0, 2, bare(ms(6), us(100), 4e6));
+  g.set_link_symmetric(1, 2, bare(ms(8), us(100), 3e6));
+  return g;
+}
+
+TEST(Hierarchical, MatchesAnalyticEvaluatorExactly) {
+  const topology::Grid grid = bare_grid();
+  const Bytes m = MiB(1);
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  for (const auto& s : sched::paper_heuristics()) {
+    const sched::SendOrder order = s.order(inst);
+    const Time predicted =
+        evaluate_order(inst, order, sched::CompletionModel::kAfterLastSend)
+            .makespan;
+    sim::Network net(grid, {}, 1);
+    const Time measured =
+        run_hierarchical_bcast(net, 0, order, m).completion;
+    EXPECT_NEAR(measured, predicted, 1e-9) << s.name();
+  }
+}
+
+TEST(Hierarchical, DeliversEveryRank) {
+  const topology::Grid grid = bare_grid();
+  const Bytes m = KiB(256);
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  const auto order = sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+  sim::Network net(grid, {}, 1);
+  const auto r = run_hierarchical_bcast(net, 0, order, m);
+  ASSERT_EQ(r.delivered.size(), grid.total_nodes());
+  for (NodeId rank = 1; rank < grid.total_nodes(); ++rank)
+    EXPECT_GT(r.delivered[rank], 0.0) << "rank " << rank;
+}
+
+TEST(Hierarchical, MessageCountIsRanksMinusOne) {
+  // One payload per rank: clusters-1 inter messages + (size-1) intra per
+  // cluster = total_nodes - 1.
+  const topology::Grid grid = bare_grid();
+  const Bytes m = KiB(64);
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+  sim::Network net(grid, {}, 1);
+  const auto r = run_hierarchical_bcast(net, 0, order, m);
+  EXPECT_EQ(r.messages, grid.total_nodes() - 1);
+}
+
+TEST(Hierarchical, NonZeroRootCluster) {
+  const topology::Grid grid = bare_grid();
+  const Bytes m = KiB(64);
+  const auto inst = sched::Instance::from_grid(grid, 2, m);
+  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+  sim::Network net(grid, {}, 1);
+  const auto r = run_hierarchical_bcast(net, 2, order, m);
+  const NodeId root_rank = grid.global_rank(2, 0);
+  EXPECT_DOUBLE_EQ(r.delivered[root_rank], 0.0);
+  for (NodeId rank = 0; rank < grid.total_nodes(); ++rank)
+    if (rank != root_rank) EXPECT_GT(r.delivered[rank], 0.0);
+}
+
+TEST(Hierarchical, LocalFirstDelaysDownstreamClusters) {
+  const topology::Grid grid = bare_grid();
+  const Bytes m = MiB(1);
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+
+  sim::Network relay_net(grid, {}, 1);
+  const auto relay =
+      run_hierarchical_bcast(relay_net, 0, order, m, IntraOrder::kRelayFirst);
+  sim::Network local_net(grid, {}, 1);
+  const auto local =
+      run_hierarchical_bcast(local_net, 0, order, m, IntraOrder::kLocalFirst);
+
+  // Remote coordinators receive later when the root plays local-first.
+  const NodeId remote_coord = grid.global_rank(1, 0);
+  EXPECT_GT(local.delivered[remote_coord], relay.delivered[remote_coord]);
+  // And the root's own cluster members receive earlier.
+  const NodeId local_member = grid.global_rank(0, 1);
+  EXPECT_LT(local.delivered[local_member], relay.delivered[local_member]);
+}
+
+TEST(Hierarchical, JitterChangesButApproximatesCleanRun) {
+  const topology::Grid grid = bare_grid();
+  const Bytes m = MiB(1);
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+
+  sim::Network clean(grid, {}, 1);
+  const Time base = run_hierarchical_bcast(clean, 0, order, m).completion;
+  sim::Network noisy(grid, {0.05}, 7);
+  const Time jittered = run_hierarchical_bcast(noisy, 0, order, m).completion;
+  EXPECT_NE(jittered, base);
+  EXPECT_NEAR(jittered, base, base * 0.3);
+}
+
+TEST(Hierarchical, WrongOrderSizeRejected) {
+  const topology::Grid grid = bare_grid();
+  sim::Network net(grid, {}, 1);
+  EXPECT_THROW((void)run_hierarchical_bcast(net, 0, {{0, 1}}, KiB(1)),
+               LogicError);
+}
+
+TEST(GridUnawareBinomial, CoversAllRanksAndLosesToGridAware) {
+  const topology::Grid grid = bare_grid();
+  const Bytes m = MiB(1);
+  sim::Network lam_net(grid, {}, 1);
+  const auto lam = run_grid_unaware_binomial(lam_net, 0, m);
+  ASSERT_EQ(lam.delivered.size(), 12u);
+  EXPECT_EQ(lam.messages, 11u);
+
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  const auto order =
+      sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+  sim::Network aware_net(grid, {}, 1);
+  const auto aware = run_hierarchical_bcast(aware_net, 0, order, m);
+  // The rank-ordered binomial crosses the WAN repeatedly; the scheduled
+  // hierarchical broadcast crosses each WAN link once.
+  EXPECT_GT(lam.completion, aware.completion);
+}
+
+}  // namespace
+}  // namespace gridcast::collective

@@ -1,0 +1,80 @@
+#include "exp/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridcast::exp {
+namespace {
+
+DistributionConfig small_config() {
+  DistributionConfig cfg;
+  cfg.clusters = 6;
+  cfg.iterations = 300;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Distribution, SeriesPerCompetitor) {
+  ThreadPool pool(0);
+  const auto comps = sched::ecef_family();
+  const auto r = run_distribution(comps, small_config(), pool);
+  ASSERT_EQ(r.series.size(), 4u);
+  EXPECT_EQ(r.series[0].name, "ECEF");
+  for (const auto& s : r.series) {
+    EXPECT_EQ(s.stats.count(), 300u);
+    EXPECT_EQ(s.histogram.total(), 300u);
+  }
+}
+
+TEST(Distribution, QuantilesAreOrdered) {
+  ThreadPool pool(0);
+  const auto r = run_distribution(sched::paper_heuristics(), small_config(),
+                                  pool);
+  for (const auto& s : r.series) {
+    EXPECT_LE(s.quantile(0.10), s.quantile(0.50));
+    EXPECT_LE(s.quantile(0.50), s.quantile(0.90));
+    EXPECT_LE(s.quantile(0.90), s.quantile(0.99));
+    // Histogram quantiles bracket the exact extremes up to bin width.
+    EXPECT_GE(s.quantile(0.999) + 0.02, s.stats.max() - 0.02);
+  }
+}
+
+TEST(Distribution, MedianNearMeanForTheseSkews) {
+  ThreadPool pool(0);
+  const auto r = run_distribution(sched::ecef_family(), small_config(), pool);
+  for (const auto& s : r.series)
+    EXPECT_NEAR(s.quantile(0.5), s.stats.mean(), s.stats.mean() * 0.25);
+}
+
+TEST(Distribution, DeterministicAcrossThreadCounts) {
+  const auto comps = sched::ecef_family();
+  ThreadPool a(0), b(3);
+  const auto ra = run_distribution(comps, small_config(), a);
+  const auto rb = run_distribution(comps, small_config(), b);
+  for (std::size_t s = 0; s < comps.size(); ++s) {
+    EXPECT_DOUBLE_EQ(ra.series[s].stats.mean(), rb.series[s].stats.mean());
+    EXPECT_DOUBLE_EQ(ra.series[s].quantile(0.5), rb.series[s].quantile(0.5));
+  }
+}
+
+TEST(Distribution, TailDominatedByInternalBroadcasts) {
+  // Table 2's T spans 20-3000 ms: every strategy's P99 must exceed its
+  // P50 by a wide margin (the slow-cluster tail is real).
+  ThreadPool pool(0);
+  auto cfg = small_config();
+  cfg.iterations = 600;
+  const auto r = run_distribution(sched::paper_heuristics(), cfg, pool);
+  for (const auto& s : r.series)
+    EXPECT_GT(s.quantile(0.99), s.quantile(0.50) * 1.05) << s.name;
+}
+
+TEST(Distribution, InvalidConfigRejected) {
+  ThreadPool pool(0);
+  DistributionConfig cfg;
+  cfg.clusters = 1;
+  EXPECT_THROW((void)run_distribution(sched::ecef_family(), cfg, pool),
+               LogicError);
+  EXPECT_THROW((void)run_distribution({}, small_config(), pool), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::exp

@@ -1,0 +1,114 @@
+#include "exp/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridcast::exp {
+namespace {
+
+RaceConfig small_config() {
+  RaceConfig cfg;
+  cfg.clusters = 5;
+  cfg.iterations = 200;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Race, CountsAndNames) {
+  ThreadPool pool(0);
+  const auto comps = sched::paper_heuristics();
+  const RaceResult r = run_race(comps, small_config(), pool);
+  ASSERT_EQ(r.names.size(), 7u);
+  EXPECT_EQ(r.names.front(), "FlatTree");
+  EXPECT_EQ(r.names.back(), "BottomUp");
+  EXPECT_EQ(r.iterations, 200u);
+  for (const auto& m : r.makespan) EXPECT_EQ(m.count(), 200u);
+}
+
+TEST(Race, GlobalMinDominatesEveryStrategy) {
+  ThreadPool pool(0);
+  const RaceResult r = run_race(sched::paper_heuristics(), small_config(),
+                                pool);
+  for (const auto& m : r.makespan) {
+    EXPECT_LE(r.global_min.mean(), m.mean() + 1e-12);
+    EXPECT_LE(r.global_min.min(), m.min() + 1e-12);
+  }
+}
+
+TEST(Race, EveryIterationHasAtLeastOneHit) {
+  ThreadPool pool(0);
+  const RaceResult r = run_race(sched::paper_heuristics(), small_config(),
+                                pool);
+  std::uint64_t total = 0;
+  for (const auto h : r.hits) total += h;
+  EXPECT_GE(total, r.iterations);  // ties can push it above
+}
+
+TEST(Race, SingleCompetitorAlwaysHits) {
+  ThreadPool pool(0);
+  const std::vector<sched::Scheduler> solo{
+      sched::Scheduler(sched::HeuristicKind::kEcef)};
+  const RaceResult r = run_race(solo, small_config(), pool);
+  EXPECT_EQ(r.hits[0], r.iterations);
+  EXPECT_DOUBLE_EQ(r.hit_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.global_min.mean(), r.makespan[0].mean());
+}
+
+TEST(Race, DeterministicAcrossThreadCounts) {
+  const auto comps = sched::paper_heuristics();
+  ThreadPool inline_pool(0);
+  ThreadPool threaded_pool(3);
+  const RaceResult a = run_race(comps, small_config(), inline_pool);
+  const RaceResult b = run_race(comps, small_config(), threaded_pool);
+  for (std::size_t s = 0; s < comps.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a.makespan[s].mean(), b.makespan[s].mean());
+    EXPECT_EQ(a.hits[s], b.hits[s]);
+  }
+  EXPECT_DOUBLE_EQ(a.global_min.mean(), b.global_min.mean());
+}
+
+TEST(Race, SeedChangesResults) {
+  ThreadPool pool(0);
+  auto cfg = small_config();
+  const RaceResult a = run_race(sched::paper_heuristics(), cfg, pool);
+  cfg.seed = 43;
+  const RaceResult b = run_race(sched::paper_heuristics(), cfg, pool);
+  EXPECT_NE(a.global_min.mean(), b.global_min.mean());
+}
+
+TEST(Race, PaperOrderingEmergesAtModerateScale) {
+  // With a few hundred iterations the Fig. 1 ordering is already stable:
+  // FlatTree worst, ECEF-family best, BottomUp between FEF and ECEF.
+  ThreadPool pool(0);
+  RaceConfig cfg;
+  cfg.clusters = 10;
+  cfg.iterations = 500;
+  cfg.seed = 42;
+  const auto comps = sched::paper_heuristics();  // Flat,FEF,ECEF,LA,LAt,LAT,BU
+  const RaceResult r = run_race(comps, cfg, pool);
+  const double flat = r.makespan[0].mean();
+  const double fef = r.makespan[1].mean();
+  const double ecef = r.makespan[2].mean();
+  const double bottomup = r.makespan[6].mean();
+  EXPECT_GT(flat, fef);
+  EXPECT_GT(fef, bottomup);
+  EXPECT_GT(bottomup, ecef);
+}
+
+TEST(Race, InvalidConfigRejected) {
+  ThreadPool pool(0);
+  RaceConfig cfg;
+  cfg.clusters = 1;
+  EXPECT_THROW((void)run_race(sched::paper_heuristics(), cfg, pool),
+               LogicError);
+  EXPECT_THROW((void)run_race({}, small_config(), pool), LogicError);
+}
+
+TEST(Race, HitRateBoundsChecked) {
+  ThreadPool pool(0);
+  const RaceResult r = run_race(sched::paper_heuristics(), small_config(),
+                                pool);
+  EXPECT_THROW((void)r.hit_rate(99), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::exp

@@ -1,0 +1,119 @@
+// Randomised stress / failure-surface tests: wide random sweeps over
+// topologies, instances and message sizes, checking only the invariants
+// that must hold for *every* input — conservation, causality, validity,
+// and cross-component agreement.  Complements the targeted unit tests
+// with breadth.
+
+#include <gtest/gtest.h>
+
+#include "collective/bcast.hpp"
+#include "collective/scatter.hpp"
+#include "exp/param_ranges.hpp"
+#include "sched/optimal.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
+#include "topology/generator.hpp"
+
+namespace gridcast {
+namespace {
+
+class RandomStress : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] topology::Grid random_grid() const {
+    Rng rng = Rng::stream(GetParam(), 0xF00D);
+    topology::GeneratorConfig cfg;
+    cfg.clusters = static_cast<std::uint32_t>(rng.between(2, 9));
+    cfg.sites = static_cast<std::uint32_t>(rng.between(1, 4));
+    cfg.min_cluster_size = 1;
+    cfg.max_cluster_size = 12;
+    return topology::random_grid(cfg, rng);
+  }
+};
+
+TEST_P(RandomStress, EveryHeuristicValidOnRandomTopologies) {
+  const topology::Grid grid = random_grid();
+  Rng rng = Rng::stream(GetParam(), 0xCAFE);
+  const Bytes m = static_cast<Bytes>(rng.between(1, 4 << 20));
+  const auto root =
+      static_cast<ClusterId>(rng.below(grid.cluster_count()));
+  const auto inst = sched::Instance::from_grid(grid, root, m);
+  for (const auto& s : sched::paper_heuristics()) {
+    const sched::Schedule sc = s.run(inst);
+    EXPECT_EQ(describe_invalid(sc, inst.clusters()), "") << s.name();
+    EXPECT_GE(sc.makespan, inst.lower_bound() - 1e-9) << s.name();
+  }
+}
+
+TEST_P(RandomStress, SimulatedBroadcastDeliversExactlyOnce) {
+  const topology::Grid grid = random_grid();
+  Rng rng = Rng::stream(GetParam(), 0xBEEF);
+  const Bytes m = static_cast<Bytes>(rng.between(1, 2 << 20));
+  const auto inst = sched::Instance::from_grid(grid, 0, m);
+  const auto order =
+      sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+
+  sim::Network net(grid, {0.05}, GetParam());
+  const auto r = collective::run_hierarchical_bcast(net, 0, order, m);
+  // Conservation: one message per non-root rank, no duplicates, no loss.
+  EXPECT_EQ(r.messages, grid.total_nodes() - 1);
+  for (NodeId rank = 1; rank < grid.total_nodes(); ++rank)
+    EXPECT_GT(r.delivered[rank], 0.0);
+  EXPECT_GT(r.completion, 0.0);
+}
+
+TEST_P(RandomStress, JitterNeverBreaksCausality) {
+  const topology::Grid grid = random_grid();
+  sim::Network net(grid, {0.15}, GetParam());
+  // Per-send causality under heavy jitter: injection strictly follows the
+  // start, delivery strictly follows injection, and one sender's repeated
+  // sends serialize in issue order (NIC and latency are never negative).
+  const NodeId sender = grid.global_rank(0, 0);
+  Time prev_start = -1.0;
+  for (ClusterId c = 1; c < grid.cluster_count(); ++c) {
+    const auto t = net.send(sender, grid.global_rank(c, 0), KiB(64));
+    EXPECT_GE(t.start, 0.0);
+    EXPECT_GT(t.injected, t.start);
+    EXPECT_GT(t.delivered, t.injected);
+    EXPECT_GT(t.start, prev_start);  // NIC serialization in issue order
+    EXPECT_DOUBLE_EQ(t.injected, net.nic_free(sender));
+    prev_start = t.start;
+  }
+}
+
+TEST_P(RandomStress, ScatterVariantsAgreeOnPayloadTotals) {
+  const topology::Grid grid = random_grid();
+  const Bytes block = KiB(32);
+  sim::Network n1(grid, {}, GetParam());
+  const auto naive = collective::run_naive_scatter(n1, 0, block);
+  sim::Network n2(grid, {}, GetParam());
+  const auto hier = collective::run_hierarchical_scatter(n2, 0, block);
+  // WAN byte volume is invariant across the two algorithms.
+  EXPECT_EQ(naive.wan_bytes, hier.wan_bytes);
+  // And the grid-aware variant never sends more WAN messages.
+  EXPECT_LE(hier.wan_messages, naive.wan_messages);
+}
+
+TEST_P(RandomStress, OptimalDominatesOnSampledInstances) {
+  Rng rng = Rng::stream(GetParam(), 0xD00D);
+  const std::size_t n = static_cast<std::size_t>(rng.between(2, 5));
+  const auto inst = exp::sample_instance(exp::ParamRanges::paper(), n, rng);
+  const Time opt = sched::optimal_makespan(inst);
+  for (const auto& s : sched::paper_heuristics())
+    EXPECT_GE(s.makespan(inst) + 1e-9, opt) << s.name();
+}
+
+TEST_P(RandomStress, EvaluatorIdempotentOnReplay) {
+  Rng rng = Rng::stream(GetParam(), 0xFACE);
+  const auto inst = exp::sample_instance(exp::ParamRanges::paper(), 12, rng);
+  const auto order = sched::bottomup_order(inst);
+  const auto a = sched::evaluate_order(inst, order);
+  const auto b = sched::evaluate_order(inst, order);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStress,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gridcast

@@ -1,0 +1,106 @@
+#include "io/grid_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/instance.hpp"
+#include "topology/generator.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridcast::io {
+namespace {
+
+TEST(GridIo, RoundTripsTheTestbed) {
+  const topology::Grid a = topology::grid5000_testbed();
+  const topology::Grid b = grid_from_string(grid_to_string(a));
+  ASSERT_EQ(b.cluster_count(), a.cluster_count());
+  EXPECT_EQ(b.total_nodes(), a.total_nodes());
+  for (ClusterId c = 0; c < a.cluster_count(); ++c) {
+    EXPECT_EQ(b.cluster(c).name(), a.cluster(c).name());
+    EXPECT_EQ(b.cluster(c).size(), a.cluster(c).size());
+    EXPECT_EQ(b.cluster(c).algorithm(), a.cluster(c).algorithm());
+    EXPECT_DOUBLE_EQ(b.cluster(c).intra().L, a.cluster(c).intra().L);
+  }
+  for (ClusterId i = 0; i < a.cluster_count(); ++i)
+    for (ClusterId j = 0; j < a.cluster_count(); ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(b.link(i, j).L, a.link(i, j).L);
+      EXPECT_DOUBLE_EQ(b.link(i, j).g(MiB(1)), a.link(i, j).g(MiB(1)));
+    }
+}
+
+TEST(GridIo, RoundTripPreservesDerivedInstances) {
+  // The acid test: a persisted grid poses byte-identical scheduling
+  // problems after reload.
+  const topology::Grid a = topology::grid5000_testbed();
+  const topology::Grid b = grid_from_string(grid_to_string(a));
+  const auto ia = sched::Instance::from_grid(a, 0, MiB(2));
+  const auto ib = sched::Instance::from_grid(b, 0, MiB(2));
+  for (ClusterId i = 0; i < ia.clusters(); ++i) {
+    EXPECT_DOUBLE_EQ(ib.T(i), ia.T(i));
+    for (ClusterId j = 0; j < ia.clusters(); ++j)
+      if (i != j) EXPECT_DOUBLE_EQ(ib.transfer(i, j), ia.transfer(i, j));
+  }
+}
+
+TEST(GridIo, RoundTripsRandomGrids) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    Rng rng(seed);
+    topology::GeneratorConfig cfg;
+    cfg.clusters = 5;
+    const topology::Grid a = topology::random_grid(cfg, rng);
+    const topology::Grid b = grid_from_string(grid_to_string(a));
+    EXPECT_EQ(b.total_nodes(), a.total_nodes());
+    EXPECT_DOUBLE_EQ(b.link(0, 4).g(KiB(512)), a.link(0, 4).g(KiB(512)));
+  }
+}
+
+TEST(GridIo, AlgorithmSurvivesRoundTrip) {
+  topology::Grid a = topology::grid5000_testbed();
+  a.cluster(5).set_algorithm(plogp::BcastAlgorithm::kSegmentedChain);
+  const topology::Grid b = grid_from_string(grid_to_string(a));
+  EXPECT_EQ(b.cluster(5).algorithm(),
+            plogp::BcastAlgorithm::kSegmentedChain);
+}
+
+TEST(GridIo, CommentsAllowed) {
+  std::string text = grid_to_string(topology::grid5000_testbed());
+  text.insert(text.find("cluster "), "# hello\n");
+  EXPECT_NO_THROW((void)grid_from_string(text));
+}
+
+TEST(GridIo, BadMagicRejected) {
+  EXPECT_THROW((void)grid_from_string("nope v1"), InvalidInput);
+}
+
+TEST(GridIo, TruncationRejected) {
+  std::string text = grid_to_string(topology::grid5000_testbed());
+  text.resize(text.size() * 2 / 3);
+  EXPECT_THROW((void)grid_from_string(text), InvalidInput);
+}
+
+TEST(GridIo, MissingLinkRejected) {
+  // Remove one link line: validate() inside read_grid must flag it.
+  std::string text = grid_to_string(topology::grid5000_testbed());
+  const auto pos = text.find("link 5 4");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.erase(pos, eol - pos + 1);
+  EXPECT_THROW((void)grid_from_string(text), InvalidInput);
+}
+
+TEST(GridIo, UnknownAlgorithmRejected) {
+  std::string text = grid_to_string(topology::grid5000_testbed());
+  const auto pos = text.find("binomial");
+  text.replace(pos, 8, "mystical");
+  EXPECT_THROW((void)grid_from_string(text), InvalidInput);
+}
+
+TEST(GridIo, ZeroSizeClusterRejected) {
+  std::string text = grid_to_string(topology::grid5000_testbed());
+  const auto pos = text.find(" 31 ");
+  text.replace(pos, 4, " 0 ");
+  EXPECT_THROW((void)grid_from_string(text), InvalidInput);
+}
+
+}  // namespace
+}  // namespace gridcast::io

@@ -1,0 +1,89 @@
+#include "io/instance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/param_ranges.hpp"
+#include "support/rng.hpp"
+
+namespace gridcast::io {
+namespace {
+
+sched::Instance sample(std::size_t n, std::uint64_t seed = 3) {
+  Rng rng = Rng::stream(seed, 0);
+  return exp::sample_instance(exp::ParamRanges::paper(), n, rng);
+}
+
+TEST(InstanceIo, RoundTripPreservesEverything) {
+  const sched::Instance a = sample(7);
+  const sched::Instance b = instance_from_string(instance_to_string(a));
+  ASSERT_EQ(b.clusters(), a.clusters());
+  EXPECT_EQ(b.root(), a.root());
+  for (ClusterId i = 0; i < a.clusters(); ++i) {
+    EXPECT_DOUBLE_EQ(b.T(i), a.T(i));
+    for (ClusterId j = 0; j < a.clusters(); ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(b.g(i, j), a.g(i, j));
+      EXPECT_DOUBLE_EQ(b.L(i, j), a.L(i, j));
+    }
+  }
+}
+
+TEST(InstanceIo, HeaderIsHumanReadable) {
+  const std::string text = instance_to_string(sample(3));
+  EXPECT_EQ(text.rfind("gridcast-instance v1", 0), 0u);
+  EXPECT_NE(text.find("clusters 3 root 0"), std::string::npos);
+}
+
+TEST(InstanceIo, CommentsAreSkipped) {
+  std::string text = instance_to_string(sample(2));
+  text.insert(text.find("T"), "# a comment line\n");
+  EXPECT_NO_THROW((void)instance_from_string(text));
+}
+
+TEST(InstanceIo, BadMagicRejected) {
+  EXPECT_THROW((void)instance_from_string("bogus v1"), InvalidInput);
+}
+
+TEST(InstanceIo, TruncatedInputRejected) {
+  std::string text = instance_to_string(sample(4));
+  text.resize(text.size() / 2);
+  EXPECT_THROW((void)instance_from_string(text), InvalidInput);
+}
+
+TEST(InstanceIo, NonNumericFieldRejected) {
+  std::string text = instance_to_string(sample(2));
+  const auto pos = text.find("T ") + 2;
+  text.replace(pos, 1, "x");
+  EXPECT_THROW((void)instance_from_string(text), InvalidInput);
+}
+
+TEST(InstanceIo, RootOutOfRangeRejected) {
+  EXPECT_THROW((void)instance_from_string(
+                   "gridcast-instance v1 clusters 2 root 5 T 0 0 "
+                   "g 0 0 0 0 L 0 0 0 0"),
+               InvalidInput);
+}
+
+TEST(InstanceIo, ZeroClustersRejected) {
+  EXPECT_THROW(
+      (void)instance_from_string("gridcast-instance v1 clusters 0 root 0"),
+      InvalidInput);
+}
+
+TEST(InstanceIo, NegativeValuesRejectedAsInvalidInput) {
+  // -1 gap violates the Instance invariants; io must surface it as
+  // InvalidInput (bad file), not LogicError (bug).
+  EXPECT_THROW((void)instance_from_string(
+                   "gridcast-instance v1 clusters 2 root 0 T 0 0 "
+                   "g 0 -1 0 0 L 0 0 0 0"),
+               InvalidInput);
+}
+
+TEST(InstanceIo, FractionalClusterCountRejected) {
+  EXPECT_THROW(
+      (void)instance_from_string("gridcast-instance v1 clusters 2.5 root 0"),
+      InvalidInput);
+}
+
+}  // namespace
+}  // namespace gridcast::io

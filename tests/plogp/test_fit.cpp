@@ -1,0 +1,117 @@
+#include "plogp/fit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridcast::plogp {
+namespace {
+
+SyntheticLink::Config quiet_link() {
+  SyntheticLink::Config c;
+  c.latency = ms(8);
+  c.bandwidth_Bps = 20e6;
+  c.per_message_cost = us(100);
+  c.jitter_frac = 0.0;
+  return c;
+}
+
+TEST(Fit, RecoversLatencyWithoutJitter) {
+  const SyntheticLink link(quiet_link());
+  Rng rng(1);
+  const Params p = fit_link(link, FitConfig{}, rng);
+  EXPECT_NEAR(p.L, ms(8), ms(8) * 0.05);
+}
+
+TEST(Fit, RecoversGapCurveWithoutJitter) {
+  const SyntheticLink link(quiet_link());
+  Rng rng(1);
+  const Params p = fit_link(link, FitConfig{}, rng);
+  for (const Bytes m : {KiB(1), KiB(64), MiB(1), MiB(4)}) {
+    const Time truth = link.true_gap(m);
+    // Gap-train measurement still carries 1/count of the latency.
+    EXPECT_NEAR(p.g(m), truth, truth * 0.05 + ms(1)) << "at size " << m;
+  }
+}
+
+TEST(Fit, FittedParamsValidate) {
+  const SyntheticLink link(quiet_link());
+  Rng rng(3);
+  EXPECT_NO_THROW(fit_link(link, FitConfig{}, rng).validate());
+}
+
+TEST(Fit, ToleratesJitter) {
+  auto cfg = quiet_link();
+  cfg.jitter_frac = 0.08;
+  const SyntheticLink link(cfg);
+  FitConfig fit_cfg;
+  fit_cfg.repetitions = 15;
+  Rng rng(5);
+  const Params p = fit_link(link, fit_cfg, rng);
+  const Time truth = link.true_gap(MiB(1));
+  EXPECT_NEAR(p.g(MiB(1)), truth, truth * 0.15);
+  EXPECT_NEAR(p.L, ms(8), ms(8) * 0.3);
+}
+
+TEST(Fit, GapFunctionIsMonotoneDespiteNoise) {
+  auto cfg = quiet_link();
+  cfg.jitter_frac = 0.2;  // heavy noise
+  const SyntheticLink link(cfg);
+  Rng rng(9);
+  const Params p = fit_link(link, FitConfig{}, rng);
+  EXPECT_TRUE(p.g.is_monotone());
+}
+
+TEST(Fit, FitGapFunctionTakesMedians) {
+  // Observations with one outlier per size: median suppresses it.
+  const std::vector<std::pair<Bytes, std::vector<Time>>> obs{
+      {100, {0.1, 0.1, 9.0}},
+      {200, {0.2, 0.2, 0.2}},
+  };
+  const GapFunction g = fit_gap_function(obs);
+  EXPECT_DOUBLE_EQ(g(100), 0.1);
+  EXPECT_DOUBLE_EQ(g(200), 0.2);
+}
+
+TEST(Fit, IsotonicSmoothingPoolsViolators) {
+  // Raw medians decrease between 100 and 200 bytes; the fit must not.
+  const std::vector<std::pair<Bytes, std::vector<Time>>> obs{
+      {100, {0.5}}, {200, {0.3}}, {300, {0.7}}};
+  const GapFunction g = fit_gap_function(obs);
+  EXPECT_TRUE(g.is_monotone());
+  // Pooled value is the mean of the violating block.
+  EXPECT_NEAR(g(100), 0.4, 1e-12);
+  EXPECT_NEAR(g(200), 0.4, 1e-12);
+  EXPECT_NEAR(g(300), 0.7, 1e-12);
+}
+
+TEST(Fit, EmptyObservationsThrow) {
+  EXPECT_THROW((void)fit_gap_function({}), LogicError);
+}
+
+TEST(Fit, DefaultSizesLadderIsSane) {
+  const auto sizes = FitConfig::default_sizes();
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_GE(sizes.back(), MiB(1));
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+class FitSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FitSeedSweep, RecoveryIsRobustAcrossSeeds) {
+  auto cfg = quiet_link();
+  cfg.jitter_frac = 0.05;
+  const SyntheticLink link(cfg);
+  FitConfig fc;
+  fc.repetitions = 9;
+  Rng rng(GetParam());
+  const Params p = fit_link(link, fc, rng);
+  const Time truth = link.true_gap(MiB(2));
+  EXPECT_NEAR(p.g(MiB(2)), truth, truth * 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitSeedSweep,
+                         ::testing::Values(1, 2, 3, 10, 100));
+
+}  // namespace
+}  // namespace gridcast::plogp

@@ -1,0 +1,97 @@
+#include "plogp/gap_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+namespace {
+
+TEST(GapFunction, ConstantEverywhere) {
+  const GapFunction g = GapFunction::constant(0.25);
+  EXPECT_DOUBLE_EQ(g(0), 0.25);
+  EXPECT_DOUBLE_EQ(g(1), 0.25);
+  EXPECT_DOUBLE_EQ(g(MiB(64)), 0.25);
+}
+
+TEST(GapFunction, AffineMatchesClosedForm) {
+  const double bw = 10e6;
+  const GapFunction g = GapFunction::affine(0.001, bw);
+  EXPECT_NEAR(g(0), 0.001, 1e-12);
+  EXPECT_NEAR(g(1000000), 0.001 + 1e6 / bw, 1e-12);
+  EXPECT_NEAR(g(MiB(1)), 0.001 + 1048576.0 / bw, 1e-12);
+}
+
+TEST(GapFunction, InterpolatesBetweenSamples) {
+  const GapFunction g({{0, 0.0}, {100, 1.0}});
+  EXPECT_DOUBLE_EQ(g(50), 0.5);
+  EXPECT_DOUBLE_EQ(g(25), 0.25);
+}
+
+TEST(GapFunction, HitsSamplesExactly) {
+  const GapFunction g({{10, 0.1}, {20, 0.5}, {40, 0.6}});
+  EXPECT_DOUBLE_EQ(g(10), 0.1);
+  EXPECT_DOUBLE_EQ(g(20), 0.5);
+  EXPECT_DOUBLE_EQ(g(40), 0.6);
+}
+
+TEST(GapFunction, ExtrapolatesLastSegmentSlope) {
+  const GapFunction g({{0, 0.0}, {100, 1.0}});
+  EXPECT_DOUBLE_EQ(g(200), 2.0);  // slope 0.01 per byte continues
+}
+
+TEST(GapFunction, ClampsBelowFirstSample) {
+  const GapFunction g({{100, 1.0}, {200, 2.0}});
+  EXPECT_DOUBLE_EQ(g(50), 1.0);  // no negative extrapolation downwards
+  EXPECT_DOUBLE_EQ(g(0), 1.0);
+}
+
+TEST(GapFunction, NeverNegative) {
+  // Decreasing segment extrapolated upward could go negative: clamped.
+  const GapFunction g({{0, 1.0}, {100, 0.1}});
+  EXPECT_GE(g(5000), 0.0);
+}
+
+TEST(GapFunction, MonotoneDetection) {
+  EXPECT_TRUE(GapFunction({{0, 0.1}, {10, 0.2}, {20, 0.2}}).is_monotone());
+  EXPECT_FALSE(GapFunction({{0, 0.3}, {10, 0.2}}).is_monotone());
+}
+
+TEST(GapFunction, EmptySamplesThrow) {
+  EXPECT_THROW(GapFunction(std::vector<GapFunction::Sample>{}), LogicError);
+}
+
+TEST(GapFunction, UnsortedSamplesThrow) {
+  EXPECT_THROW(GapFunction({{10, 0.1}, {5, 0.2}}), LogicError);
+}
+
+TEST(GapFunction, DuplicateSizesThrow) {
+  EXPECT_THROW(GapFunction({{10, 0.1}, {10, 0.2}}), LogicError);
+}
+
+TEST(GapFunction, NegativeValueThrows) {
+  EXPECT_THROW(GapFunction({{10, -0.1}}), LogicError);
+}
+
+TEST(GapFunction, AffineInvalidBandwidthThrows) {
+  EXPECT_THROW(GapFunction::affine(0.0, 0.0), LogicError);
+  EXPECT_THROW(GapFunction::affine(0.0, -5.0), LogicError);
+}
+
+class GapMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(GapMonotonicity, AffineIsMonotoneInSize) {
+  const GapFunction g = GapFunction::affine(0.0001, GetParam());
+  Time prev = 0.0;
+  for (Bytes m = 0; m <= MiB(8); m += KiB(512)) {
+    const Time v = g(m);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, GapMonotonicity,
+                         ::testing::Values(1e6, 10e6, 100e6, 1e9));
+
+}  // namespace
+}  // namespace gridcast::plogp

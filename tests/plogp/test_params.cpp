@@ -1,0 +1,64 @@
+#include "plogp/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+namespace {
+
+TEST(Params, LatencyBandwidthValidates) {
+  const Params p = Params::latency_bandwidth(ms(5), 10e6);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.L, ms(5));
+}
+
+TEST(Params, TransferTimeIsGapPlusLatency) {
+  const Params p = Params::latency_bandwidth(ms(5), 10e6);
+  const Bytes m = MiB(1);
+  EXPECT_DOUBLE_EQ(p.transfer_time(m), p.g(m) + p.L);
+}
+
+TEST(Params, GapScalesWithBandwidth) {
+  const Params fast = Params::latency_bandwidth(ms(1), 100e6);
+  const Params slow = Params::latency_bandwidth(ms(1), 10e6);
+  EXPECT_LT(fast.g(MiB(1)), slow.g(MiB(1)));
+  EXPECT_NEAR(slow.g(MiB(4)) / fast.g(MiB(4)), 10.0, 0.5);
+}
+
+TEST(Params, NegativeLatencyThrows) {
+  Params p = Params::latency_bandwidth(ms(1), 10e6);
+  p.L = -1.0;
+  EXPECT_THROW(p.validate(), LogicError);
+}
+
+TEST(Params, MissingGapThrows) {
+  Params p;
+  p.L = 0.0;
+  p.os = GapFunction::constant(0.0);
+  p.orecv = GapFunction::constant(0.0);
+  EXPECT_THROW(p.validate(), LogicError);
+}
+
+TEST(Params, NonMonotoneGapThrows) {
+  Params p = Params::latency_bandwidth(ms(1), 10e6);
+  p.g = GapFunction({{0, 0.5}, {100, 0.1}});
+  EXPECT_THROW(p.validate(), LogicError);
+}
+
+TEST(Params, OverheadExceedingGapThrows) {
+  Params p = Params::latency_bandwidth(ms(1), 10e6);
+  p.os = GapFunction::constant(10.0);  // way above the gap
+  EXPECT_THROW(p.validate(), LogicError);
+}
+
+TEST(Params, OverheadsAreSmallFractionOfGap) {
+  const Params p = Params::latency_bandwidth(ms(2), 50e6);
+  const Bytes m = MiB(2);
+  EXPECT_LT(p.os(m), p.g(m));
+  EXPECT_LT(p.orecv(m), p.g(m));
+  EXPECT_GT(p.os(m), 0.0);
+}
+
+}  // namespace
+}  // namespace gridcast::plogp

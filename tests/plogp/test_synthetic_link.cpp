@@ -1,0 +1,90 @@
+#include "plogp/synthetic_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+namespace {
+
+SyntheticLink::Config base_config() {
+  SyntheticLink::Config c;
+  c.latency = ms(5);
+  c.bandwidth_Bps = 10e6;
+  c.per_message_cost = us(50);
+  c.jitter_frac = 0.0;
+  return c;
+}
+
+TEST(SyntheticLink, TrueGapClosedForm) {
+  const SyntheticLink link(base_config());
+  EXPECT_NEAR(link.true_gap(0), us(50), 1e-12);
+  EXPECT_NEAR(link.true_gap(1000000), us(50) + 0.1, 1e-9);
+}
+
+TEST(SyntheticLink, TrueTransferAddsLatency) {
+  const SyntheticLink link(base_config());
+  EXPECT_NEAR(link.true_transfer(1000), link.true_gap(1000) + ms(5), 1e-12);
+}
+
+TEST(SyntheticLink, RttWithoutJitterIsExact) {
+  const SyntheticLink link(base_config());
+  Rng rng(1);
+  const Time expected = link.true_transfer(1000) + link.true_transfer(0);
+  EXPECT_NEAR(link.measure_rtt(1000, rng), expected, 1e-12);
+}
+
+TEST(SyntheticLink, GapMeasurementConvergesToGap) {
+  const SyntheticLink link(base_config());
+  Rng rng(1);
+  const Time g = link.true_gap(100000);
+  // Per-message time approaches the gap as the train grows (latency
+  // amortises away).
+  const Time short_train = link.measure_gap(100000, 2, rng);
+  const Time long_train = link.measure_gap(100000, 64, rng);
+  EXPECT_GT(short_train, long_train);
+  EXPECT_NEAR(long_train, g, g * 0.1);
+}
+
+TEST(SyntheticLink, JitterStaysBounded) {
+  auto cfg = base_config();
+  cfg.jitter_frac = 0.1;
+  const SyntheticLink link(cfg);
+  Rng rng(7);
+  const Time base = link.true_transfer(1000) + link.true_transfer(0);
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = link.measure_rtt(1000, rng);
+    EXPECT_GT(t, base * 0.65);  // 3 sigma truncation
+    EXPECT_LT(t, base * 1.35);
+  }
+}
+
+TEST(SyntheticLink, JitterAveragesToTruth) {
+  auto cfg = base_config();
+  cfg.jitter_frac = 0.05;
+  const SyntheticLink link(cfg);
+  Rng rng(11);
+  const Time base = link.true_transfer(1000) + link.true_transfer(0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += link.measure_rtt(1000, rng);
+  EXPECT_NEAR(sum / n, base, base * 0.01);
+}
+
+TEST(SyntheticLink, InvalidConfigThrows) {
+  auto bad = base_config();
+  bad.bandwidth_Bps = 0.0;
+  EXPECT_THROW(SyntheticLink{bad}, LogicError);
+  auto neg = base_config();
+  neg.latency = -1.0;
+  EXPECT_THROW(SyntheticLink{neg}, LogicError);
+}
+
+TEST(SyntheticLink, ZeroCountGapMeasurementThrows) {
+  const SyntheticLink link(base_config());
+  Rng rng(1);
+  EXPECT_THROW((void)link.measure_gap(1000, 0, rng), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::plogp

@@ -1,0 +1,93 @@
+#include "sched/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/evaluate.hpp"
+#include "sched/registry.hpp"
+
+namespace gridcast::sched {
+namespace {
+
+Instance uniform(std::size_t n, Time gap, Time lat, std::vector<Time> T) {
+  SquareMatrix<Time> g(n, gap), L(n, lat);
+  return Instance(0, std::move(g), std::move(L), std::move(T));
+}
+
+TEST(Analysis, ChainTopologyDepthsAndBottleneck) {
+  const Instance inst = uniform(3, 0.1, 0.01, {0.0, 0.0, 1.0});
+  const Schedule s = evaluate_order(inst, SendOrder{{0, 1}, {1, 2}});
+  const ScheduleAnalysis a = analyze(inst, s);
+
+  EXPECT_EQ(a.clusters[0].depth, 0u);
+  EXPECT_EQ(a.clusters[1].depth, 1u);
+  EXPECT_EQ(a.clusters[2].depth, 2u);
+  EXPECT_EQ(a.tree_depth, 2u);
+  EXPECT_EQ(a.bottleneck, 2u);
+  EXPECT_EQ(a.critical_path, (std::vector<ClusterId>{0, 1, 2}));
+  EXPECT_TRUE(a.clusters[1].on_critical_path);
+}
+
+TEST(Analysis, StarTopologyCountsSends) {
+  const Instance inst = uniform(4, 0.1, 0.01, {0.0, 0.0, 0.0, 0.0});
+  const Schedule s =
+      evaluate_order(inst, SendOrder{{0, 1}, {0, 2}, {0, 3}});
+  const ScheduleAnalysis a = analyze(inst, s);
+  EXPECT_EQ(a.clusters[0].sends, 3u);
+  EXPECT_NEAR(a.clusters[0].busy, 0.3, 1e-12);
+  EXPECT_EQ(a.tree_depth, 1u);
+  for (ClusterId c = 1; c < 4; ++c) EXPECT_EQ(a.clusters[c].sends, 0u);
+}
+
+TEST(Analysis, ArrivalTimesRecorded) {
+  const Instance inst = uniform(3, 0.1, 0.01, {0.0, 0.0, 0.0});
+  const Schedule s = evaluate_order(inst, SendOrder{{0, 1}, {0, 2}});
+  const ScheduleAnalysis a = analyze(inst, s);
+  EXPECT_DOUBLE_EQ(a.clusters[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(a.clusters[1].arrival, 0.11);
+  EXPECT_DOUBLE_EQ(a.clusters[2].arrival, 0.21);
+}
+
+TEST(Analysis, RootCanBeBottleneck) {
+  const Instance inst = uniform(2, 0.1, 0.01, {5.0, 0.0});
+  const Schedule s = evaluate_order(inst, SendOrder{{0, 1}});
+  const ScheduleAnalysis a = analyze(inst, s);
+  EXPECT_EQ(a.bottleneck, 0u);
+  EXPECT_EQ(a.critical_path, std::vector<ClusterId>{0});
+}
+
+TEST(Analysis, UtilisationBetweenZeroAndOne) {
+  const Instance inst = uniform(6, 0.2, 0.01, {0.1, 0.2, 0.3, 0.1, 0.2, 0.3});
+  const Schedule s = Scheduler(HeuristicKind::kEcefLa).run(inst);
+  const ScheduleAnalysis a = analyze(inst, s);
+  EXPECT_GT(a.mean_sender_utilisation, 0.0);
+  EXPECT_LE(a.mean_sender_utilisation, 1.0);
+}
+
+TEST(Analysis, InvalidScheduleRejected) {
+  const Instance inst = uniform(3, 0.1, 0.01, {0.0, 0.0, 0.0});
+  Schedule bogus;
+  bogus.root = 0;
+  bogus.cluster_finish = {0.0, 0.0, 0.0};
+  EXPECT_THROW((void)analyze(inst, bogus), LogicError);
+}
+
+TEST(Gantt, RendersOneRowPerClusterPlusLegend) {
+  const Instance inst = uniform(3, 0.1, 0.01, {0.0, 0.2, 0.2});
+  const Schedule s = evaluate_order(inst, SendOrder{{0, 1}, {0, 2}});
+  const std::string gantt = render_gantt(inst, s, 40);
+  EXPECT_NE(gantt.find("c0 (root)"), std::string::npos);
+  EXPECT_NE(gantt.find("c2"), std::string::npos);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+  EXPECT_NE(gantt.find('='), std::string::npos);  // root sending
+  EXPECT_NE(gantt.find('>'), std::string::npos);  // arrivals
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // internal broadcasts
+}
+
+TEST(Gantt, TooNarrowRejected) {
+  const Instance inst = uniform(2, 0.1, 0.01, {0.0, 0.0});
+  const Schedule s = evaluate_order(inst, SendOrder{{0, 1}});
+  EXPECT_THROW((void)render_gantt(inst, s, 4), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::sched

@@ -1,0 +1,142 @@
+#include "sched/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridcast::sched {
+namespace {
+
+/// Uniform instance: every transfer costs g + L, every cluster the same T.
+Instance uniform(std::size_t n, Time gap, Time lat, Time T) {
+  SquareMatrix<Time> g(n, gap), L(n, lat);
+  return Instance(0, std::move(g), std::move(L), std::vector<Time>(n, T));
+}
+
+TEST(Evaluate, SingleTransferTiming) {
+  const Instance inst = uniform(2, 0.10, 0.01, 0.5);
+  const SendOrder order{{0, 1}};
+  const Schedule s = evaluate_order(inst, order);
+  ASSERT_EQ(s.transfers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.transfers[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.transfers[0].arrival, 0.11);
+  // Eager: finish = arrival + T.
+  EXPECT_DOUBLE_EQ(s.cluster_finish[0], 0.5);
+  EXPECT_DOUBLE_EQ(s.cluster_finish[1], 0.61);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.61);
+}
+
+TEST(Evaluate, NicSerializesRootSends) {
+  const Instance inst = uniform(3, 0.10, 0.01, 0.0);
+  const SendOrder order{{0, 1}, {0, 2}};
+  const Schedule s = evaluate_order(inst, order);
+  EXPECT_DOUBLE_EQ(s.transfers[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.transfers[0].arrival, 0.11);
+  // Second send waits for the first gap, not its latency.
+  EXPECT_DOUBLE_EQ(s.transfers[1].start, 0.10);
+  EXPECT_DOUBLE_EQ(s.transfers[1].arrival, 0.21);
+}
+
+TEST(Evaluate, RelayWaitsForArrival) {
+  const Instance inst = uniform(3, 0.10, 0.01, 0.0);
+  const SendOrder order{{0, 1}, {1, 2}};
+  const Schedule s = evaluate_order(inst, order);
+  // Cluster 1 holds at 0.11 and only then starts relaying.
+  EXPECT_DOUBLE_EQ(s.transfers[1].start, 0.11);
+  EXPECT_DOUBLE_EQ(s.transfers[1].arrival, 0.22);
+}
+
+TEST(Evaluate, AfterLastSendModelChargesSenders) {
+  const Instance inst = uniform(3, 0.10, 0.01, 1.0);
+  const SendOrder order{{0, 1}, {0, 2}};
+  const Schedule eager = evaluate_order(inst, order, CompletionModel::kEager);
+  const Schedule cons =
+      evaluate_order(inst, order, CompletionModel::kAfterLastSend);
+  // Eager: root finishes at T = 1.0.  Conservative: after its second gap,
+  // 0.20 + 1.0.
+  EXPECT_DOUBLE_EQ(eager.cluster_finish[0], 1.0);
+  EXPECT_DOUBLE_EQ(cons.cluster_finish[0], 1.2);
+  // Pure receivers behave identically under both models.
+  EXPECT_DOUBLE_EQ(eager.cluster_finish[2], cons.cluster_finish[2]);
+}
+
+TEST(Evaluate, EagerNeverExceedsAfterLastSend) {
+  const Instance inst = uniform(4, 0.10, 0.01, 0.7);
+  const SendOrder order{{0, 1}, {1, 2}, {1, 3}};
+  const Time e =
+      evaluate_order(inst, order, CompletionModel::kEager).makespan;
+  const Time c =
+      evaluate_order(inst, order, CompletionModel::kAfterLastSend).makespan;
+  EXPECT_LE(e, c);
+}
+
+TEST(Evaluate, WrongOrderLengthThrows) {
+  const Instance inst = uniform(3, 0.1, 0.01, 0.0);
+  const SendOrder too_short{{0, 1}};
+  EXPECT_THROW((void)evaluate_order(inst, too_short), LogicError);
+}
+
+TEST(Evaluate, NonCausalOrderThrows) {
+  const Instance inst = uniform(3, 0.1, 0.01, 0.0);
+  const SendOrder order{{1, 2}, {0, 1}};  // 1 sends before receiving
+  EXPECT_THROW((void)evaluate_order(inst, order), LogicError);
+}
+
+TEST(Evaluate, DuplicateReceiverThrows) {
+  const Instance inst = uniform(3, 0.1, 0.01, 0.0);
+  const SendOrder order{{0, 1}, {0, 1}};
+  EXPECT_THROW((void)evaluate_order(inst, order), LogicError);
+}
+
+TEST(EvalState, SendStartTracksNicAndArrival) {
+  const Instance inst = uniform(3, 0.10, 0.01, 0.0);
+  EvalState st(inst);
+  EXPECT_DOUBLE_EQ(st.send_start(0), 0.0);
+  EXPECT_FALSE(st.has_message(1));
+  st.apply(0, 1);
+  EXPECT_DOUBLE_EQ(st.send_start(0), 0.10);  // gap elapsed
+  EXPECT_TRUE(st.has_message(1));
+  EXPECT_DOUBLE_EQ(st.send_start(1), 0.11);  // waits for arrival
+}
+
+TEST(EvalState, ArrivalIfPredictsApply) {
+  const Instance inst = uniform(3, 0.10, 0.01, 0.0);
+  EvalState st(inst);
+  const Time predicted = st.arrival_if(0, 2);
+  const Transfer t = st.apply(0, 2);
+  EXPECT_DOUBLE_EQ(t.arrival, predicted);
+}
+
+TEST(EvalState, SendWithoutMessageThrows) {
+  const Instance inst = uniform(3, 0.1, 0.01, 0.0);
+  EvalState st(inst);
+  EXPECT_THROW((void)st.send_start(1), LogicError);
+  EXPECT_THROW((void)st.apply(1, 2), LogicError);
+}
+
+TEST(EvalState, DoubleDeliveryThrows) {
+  const Instance inst = uniform(3, 0.1, 0.01, 0.0);
+  EvalState st(inst);
+  st.apply(0, 1);
+  EXPECT_THROW((void)st.apply(0, 1), LogicError);
+}
+
+TEST(EvalState, HeterogeneousTimingHandComputed) {
+  // transfer(0,1) = 0.3, transfer(0,2) = 0.6, transfer(1,2) = 0.1.
+  SquareMatrix<Time> g(3, 0.0), L(3, 0.0);
+  g(0, 1) = 0.28;
+  L(0, 1) = 0.02;
+  g(0, 2) = 0.55;
+  L(0, 2) = 0.05;
+  g(1, 2) = 0.08;
+  L(1, 2) = 0.02;
+  g(1, 0) = g(2, 0) = g(2, 1) = 1.0;
+  const Instance inst(0, std::move(g), std::move(L), {0.0, 0.0, 0.4});
+
+  // 0 -> 1 (arrive 0.3), then 1 -> 2 (start 0.3, arrive 0.4).
+  const Schedule s = evaluate_order(inst, SendOrder{{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(s.transfers[1].start, 0.30);
+  EXPECT_DOUBLE_EQ(s.transfers[1].arrival, 0.40);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.80);  // 0.40 + T_2
+}
+
+}  // namespace
+}  // namespace gridcast::sched

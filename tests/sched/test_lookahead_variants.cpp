@@ -1,0 +1,77 @@
+// Bhat's alternative lookahead functions (paper Section 4.4): average
+// edge cost to the rest of B, and average A->B cost after the move.
+
+#include <gtest/gtest.h>
+
+#include "exp/param_ranges.hpp"
+#include "sched/evaluate.hpp"
+#include "sched/heuristics.hpp"
+#include "support/rng.hpp"
+
+namespace gridcast::sched {
+namespace {
+
+TEST(AvgLookahead, AvgEdgeHandComputed) {
+  // Receiver 1 has cheap average onward edges, receiver 2 expensive ones;
+  // root edges tie.  kAvgEdge must fetch 1 first.
+  SquareMatrix<Time> g(4, 0.0), L(4, 0.0);
+  const auto set = [&](ClusterId a, ClusterId b, Time v) {
+    g(a, b) = v;
+    g(b, a) = v;
+  };
+  set(0, 1, 0.10);
+  set(0, 2, 0.10);
+  set(0, 3, 0.50);
+  set(1, 2, 0.20);
+  set(1, 3, 0.10);
+  set(2, 3, 0.90);
+  const Instance inst(0, std::move(g), std::move(L), {0, 0, 0, 0});
+  // F_1 = avg(0.20, 0.10) = 0.15; F_2 = avg(0.20, 0.90) = 0.55.
+  const SendOrder o = ecef_order(inst, Lookahead::kAvgEdge);
+  EXPECT_EQ(o.front(), (SendPair{0, 1}));
+}
+
+TEST(AvgLookahead, AvgAfterMoveAccountsForExistingSenders) {
+  // kAvgAfterMove averages over the hypothetical A + {j}: a receiver with
+  // bad own edges can still score well when A already reaches B cheaply.
+  SquareMatrix<Time> g(3, 0.0), L(3, 0.0);
+  g(0, 1) = g(1, 0) = 0.10;
+  g(0, 2) = g(2, 0) = 0.10;
+  g(1, 2) = g(2, 1) = 0.80;
+  const Instance inst(0, std::move(g), std::move(L), {0, 0, 0});
+  // F_1 = avg over senders {1, 0} to {2}: (0.8 + 0.1)/2 = 0.45.
+  // F_2 = avg over senders {2, 0} to {1}: (0.8 + 0.1)/2 = 0.45.
+  // Tie -> lowest receiver id first; mostly checks the arithmetic path.
+  const SendOrder o = ecef_order(inst, Lookahead::kAvgAfterMove);
+  EXPECT_EQ(o.front(), (SendPair{0, 1}));
+  const Schedule s = evaluate_order(inst, o);
+  EXPECT_EQ(describe_invalid(s, 3), "");
+}
+
+class AvgLookaheadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AvgLookaheadSweep, ProducesValidSchedules) {
+  Rng rng = Rng::stream(11, GetParam());
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), GetParam(), rng);
+  for (const auto la : {Lookahead::kAvgEdge, Lookahead::kAvgAfterMove}) {
+    const SendOrder o = ecef_order(inst, la);
+    const Schedule s = evaluate_order(inst, o);
+    EXPECT_EQ(describe_invalid(s, inst.clusters()), "");
+  }
+}
+
+TEST_P(AvgLookaheadSweep, DistinctFromMinEdgeOnLargeInstances) {
+  if (GetParam() < 10) return;  // tiny instances often coincide
+  Rng rng = Rng::stream(13, GetParam());
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), GetParam(), rng);
+  EXPECT_NE(ecef_order(inst, Lookahead::kAvgEdge),
+            ecef_order(inst, Lookahead::kMinEdge));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AvgLookaheadSweep,
+                         ::testing::Values(2, 3, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace gridcast::sched

@@ -1,0 +1,49 @@
+#include "sched/mixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/param_ranges.hpp"
+#include "support/rng.hpp"
+
+namespace gridcast::sched {
+namespace {
+
+TEST(Mixed, ChoiceFollowsThreshold) {
+  const MixedStrategy m(10);
+  EXPECT_EQ(m.choice(2), HeuristicKind::kEcefLa);
+  EXPECT_EQ(m.choice(10), HeuristicKind::kEcefLa);
+  EXPECT_EQ(m.choice(11), HeuristicKind::kEcefLaMax);
+  EXPECT_EQ(m.choice(50), HeuristicKind::kEcefLaMax);
+}
+
+TEST(Mixed, ThresholdIsConfigurable) {
+  const MixedStrategy m(3);
+  EXPECT_EQ(m.threshold(), 3u);
+  EXPECT_EQ(m.choice(4), HeuristicKind::kEcefLaMax);
+}
+
+TEST(Mixed, DelegatesToUnderlyingHeuristic) {
+  Rng rng_small = Rng::stream(3, 1);
+  const Instance small =
+      exp::sample_instance(exp::ParamRanges::paper(), 6, rng_small);
+  Rng rng_large = Rng::stream(3, 2);
+  const Instance large =
+      exp::sample_instance(exp::ParamRanges::paper(), 20, rng_large);
+
+  const MixedStrategy m(10);
+  EXPECT_EQ(m.order(small), Scheduler(HeuristicKind::kEcefLa).order(small));
+  EXPECT_EQ(m.order(large),
+            Scheduler(HeuristicKind::kEcefLaMax).order(large));
+}
+
+TEST(Mixed, RunProducesValidSchedule) {
+  Rng rng = Rng::stream(9, 5);
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), 12, rng);
+  const MixedStrategy m(10);
+  const Schedule s = m.run(inst);
+  EXPECT_EQ(describe_invalid(s, inst.clusters()), "");
+}
+
+}  // namespace
+}  // namespace gridcast::sched

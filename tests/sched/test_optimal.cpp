@@ -1,0 +1,90 @@
+#include "sched/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/param_ranges.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
+
+namespace gridcast::sched {
+namespace {
+
+Instance uniform(std::size_t n, Time gap, Time lat, std::vector<Time> T) {
+  SquareMatrix<Time> g(n, gap), L(n, lat);
+  return Instance(0, std::move(g), std::move(L), std::move(T));
+}
+
+TEST(Optimal, TwoClustersIsTheOnlySchedule) {
+  const Instance inst = uniform(2, 0.1, 0.01, {0.2, 0.5});
+  const OptimalResult r = optimal_schedule(inst);
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, 0.11 + 0.5);
+  EXPECT_EQ(r.schedule.transfers.size(), 1u);
+}
+
+TEST(Optimal, ThreeClustersHandComputed) {
+  // Uniform transfers 0.11, T = {0, 0, 1.0}.  Eager model.
+  // Serving 2 first: arrival 0.11 -> finish 1.11; then 1 via root at
+  // 0.21 or via 2 at 0.22 -> makespan 1.11.
+  // Serving 1 first: 2 arrives at 0.21 earliest -> 1.21.  Optimum: 1.11.
+  const Instance inst = uniform(3, 0.1, 0.01, {0.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(optimal_makespan(inst), 1.11);
+}
+
+TEST(Optimal, RefusesOversizedInstances) {
+  const Instance inst = uniform(12, 0.1, 0.01, std::vector<Time>(12, 0.1));
+  EXPECT_THROW((void)optimal_schedule(inst), InvalidInput);
+  // Raising the cap unlocks the search (verified on a size that is still
+  // tractable: 6 clusters under a cap of 6).
+  const Instance small = uniform(6, 0.1, 0.01, std::vector<Time>(6, 0.1));
+  EXPECT_THROW((void)optimal_schedule(small, 5), InvalidInput);
+  EXPECT_NO_THROW((void)optimal_schedule(small, 6));
+}
+
+TEST(Optimal, ReportsExploration) {
+  const Instance inst = uniform(4, 0.1, 0.01, {0.1, 0.2, 0.3, 0.4});
+  const OptimalResult r = optimal_schedule(inst);
+  EXPECT_GT(r.explored, 1u);
+}
+
+TEST(Optimal, ScheduleIsValid) {
+  Rng rng = Rng::stream(5, 0);
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), 5, rng);
+  const OptimalResult r = optimal_schedule(inst);
+  EXPECT_EQ(describe_invalid(r.schedule, inst.clusters()), "");
+}
+
+TEST(Optimal, CompletionModelChangesObjective) {
+  // One slow-T cluster: eager optimum serves it early and overlaps; the
+  // conservative optimum pays for every later send of its coordinator.
+  const Instance inst = uniform(4, 0.2, 0.01, {0.0, 0.0, 0.0, 2.0});
+  const Time eager = optimal_makespan(inst, 9, CompletionModel::kEager);
+  const Time cons =
+      optimal_makespan(inst, 9, CompletionModel::kAfterLastSend);
+  EXPECT_LE(eager, cons);
+}
+
+class OptimalDominance
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(OptimalDominance, NoHeuristicBeatsOptimal) {
+  const auto [seed, clusters] = GetParam();
+  Rng rng = Rng::stream(seed, 77);
+  const Instance inst = exp::sample_instance(
+      exp::ParamRanges::paper(), static_cast<std::size_t>(clusters), rng);
+  const Time opt = optimal_makespan(inst);
+  for (const auto& s : paper_heuristics()) {
+    EXPECT_GE(s.makespan(inst), opt - 1e-9)
+        << s.name() << " beat the exhaustive optimum (seed " << seed << ")";
+  }
+  // And the optimum respects the instance lower bound.
+  EXPECT_GE(opt, inst.lower_bound() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimalDominance,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(3, 4, 5)));
+
+}  // namespace
+}  // namespace gridcast::sched

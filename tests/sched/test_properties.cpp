@@ -1,0 +1,136 @@
+// Property-based sweeps over random Table 2 instances: every heuristic,
+// many seeds and cluster counts.  These pin down the invariants the
+// Monte-Carlo benches rely on.
+
+#include <gtest/gtest.h>
+
+#include "exp/param_ranges.hpp"
+#include "sched/evaluate.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
+
+namespace gridcast::sched {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  std::size_t clusters;
+};
+
+class HeuristicProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  [[nodiscard]] Instance make_instance() const {
+    Rng rng = Rng::stream(GetParam().seed, 0);
+    return exp::sample_instance(exp::ParamRanges::paper(),
+                                GetParam().clusters, rng);
+  }
+};
+
+TEST_P(HeuristicProperties, SchedulesAreValidArborescences) {
+  const Instance inst = make_instance();
+  for (const auto& s : paper_heuristics()) {
+    const Schedule sched = s.run(inst);
+    EXPECT_EQ(describe_invalid(sched, inst.clusters()), "") << s.name();
+  }
+}
+
+TEST_P(HeuristicProperties, MakespanRespectsLowerBound) {
+  const Instance inst = make_instance();
+  const Time lb = inst.lower_bound();
+  for (const auto& s : paper_heuristics())
+    EXPECT_GE(s.makespan(inst), lb - 1e-9) << s.name();
+}
+
+TEST_P(HeuristicProperties, EagerDominatedByAfterLastSend) {
+  const Instance inst = make_instance();
+  for (const auto& s : paper_heuristics()) {
+    const SendOrder o = s.order(inst);
+    EXPECT_LE(evaluate_order(inst, o, CompletionModel::kEager).makespan,
+              evaluate_order(inst, o, CompletionModel::kAfterLastSend)
+                      .makespan +
+                  1e-12)
+        << s.name();
+  }
+}
+
+TEST_P(HeuristicProperties, OrdersAreDeterministic) {
+  const Instance inst = make_instance();
+  for (const auto& s : paper_heuristics())
+    EXPECT_EQ(s.order(inst), s.order(inst)) << s.name();
+}
+
+TEST_P(HeuristicProperties, EveryClusterAppearsOnceAsReceiver) {
+  const Instance inst = make_instance();
+  for (const auto& s : paper_heuristics()) {
+    std::vector<int> seen(inst.clusters(), 0);
+    for (const auto& [snd, rcv] : s.order(inst)) ++seen[rcv];
+    EXPECT_EQ(seen[inst.root()], 0) << s.name();
+    for (ClusterId c = 0; c < inst.clusters(); ++c)
+      if (c != inst.root()) EXPECT_EQ(seen[c], 1) << s.name();
+  }
+}
+
+TEST_P(HeuristicProperties, MakespanWithinFullySerializedBound) {
+  // Generous upper bound valid for ANY causal schedule: the i-th transfer
+  // starts no later than (i-1) maximal transfers after time zero, so every
+  // arrival is below (n-1) * max_transfer, and under the eager model each
+  // cluster then needs at most max_T more.
+  const Instance inst = make_instance();
+  Time max_transfer = 0.0;
+  for (ClusterId i = 0; i < inst.clusters(); ++i)
+    for (ClusterId j = 0; j < inst.clusters(); ++j)
+      if (i != j) max_transfer = std::max(max_transfer, inst.transfer(i, j));
+  const Time bound =
+      static_cast<double>(inst.clusters() - 1) * max_transfer + inst.max_T();
+  for (const auto& s : paper_heuristics())
+    EXPECT_LE(s.makespan(inst), bound + 1e-9) << s.name();
+}
+
+TEST_P(HeuristicProperties, EcefPicksGreedyMinimumEachRound) {
+  // ECEF's defining property: every committed transfer has the smallest
+  // achievable arrival among all (sender in A, receiver in B) pairs at
+  // that moment.  Replay the schedule and verify each choice.
+  const Instance inst = make_instance();
+  const SendOrder order = Scheduler(HeuristicKind::kEcef).order(inst);
+  EvalState st(inst);
+  std::vector<bool> in_a(inst.clusters(), false);
+  in_a[inst.root()] = true;
+  for (const auto& [snd, rcv] : order) {
+    const Time chosen = st.arrival_if(snd, rcv);
+    for (ClusterId i = 0; i < inst.clusters(); ++i) {
+      if (!in_a[i]) continue;
+      for (ClusterId j = 0; j < inst.clusters(); ++j) {
+        if (in_a[j]) continue;
+        EXPECT_GE(st.arrival_if(i, j), chosen - 1e-12);
+      }
+    }
+    st.apply(snd, rcv);
+    in_a[rcv] = true;
+  }
+}
+
+TEST_P(HeuristicProperties, TransferTimingConsistentWithMatrices) {
+  const Instance inst = make_instance();
+  for (const auto& s : paper_heuristics()) {
+    const Schedule sched = s.run(inst);
+    for (const auto& t : sched.transfers) {
+      EXPECT_NEAR(t.arrival - t.start, inst.transfer(t.sender, t.receiver),
+                  1e-12)
+          << s.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeuristicProperties,
+    ::testing::Values(Case{1, 2}, Case{1, 3}, Case{1, 5}, Case{1, 10},
+                      Case{2, 4}, Case{2, 8}, Case{2, 25}, Case{3, 6},
+                      Case{3, 15}, Case{3, 50}, Case{4, 7}, Case{4, 12},
+                      Case{5, 30}, Case{6, 40}, Case{7, 9}, Case{8, 20}),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.clusters);
+    });
+
+}  // namespace
+}  // namespace gridcast::sched

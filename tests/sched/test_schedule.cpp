@@ -1,0 +1,123 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gridcast::sched {
+namespace {
+
+Schedule valid_two_transfer() {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{0, 1, 0.0, 0.5}, {1, 2, 0.5, 1.0}};
+  s.cluster_finish = {0.2, 0.8, 1.5};
+  s.makespan = 1.5;
+  return s;
+}
+
+TEST(Schedule, ValidScheduleAccepted) {
+  EXPECT_EQ(describe_invalid(valid_two_transfer(), 3), "");
+  EXPECT_TRUE(is_valid(valid_two_transfer(), 3));
+}
+
+TEST(Schedule, RootOutOfRange) {
+  auto s = valid_two_transfer();
+  s.root = 9;
+  EXPECT_NE(describe_invalid(s, 3), "");
+}
+
+TEST(Schedule, WrongTransferCount) {
+  auto s = valid_two_transfer();
+  s.transfers.pop_back();
+  EXPECT_NE(describe_invalid(s, 3).find("one transfer"), std::string::npos);
+}
+
+TEST(Schedule, RootMustNeverReceive) {
+  auto s = valid_two_transfer();
+  s.transfers[1] = {1, 0, 0.5, 1.0};
+  EXPECT_NE(describe_invalid(s, 3).find("root"), std::string::npos);
+}
+
+TEST(Schedule, DoubleReceiveRejected) {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{0, 1, 0.0, 0.5}, {0, 1, 0.5, 1.0}};
+  s.cluster_finish = {0.0, 1.0, 0.0};
+  s.makespan = 1.0;
+  EXPECT_NE(describe_invalid(s, 3).find("received twice"), std::string::npos);
+}
+
+TEST(Schedule, SendBeforeReceiveRejected) {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{1, 2, 0.0, 0.5}, {0, 1, 0.5, 1.0}};
+  s.cluster_finish = {0.0, 1.0, 0.5};
+  s.makespan = 1.0;
+  EXPECT_NE(describe_invalid(s, 3).find("before receiving"),
+            std::string::npos);
+}
+
+TEST(Schedule, TransferStartBeforeHoldRejected) {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{0, 1, 0.0, 0.5}, {1, 2, 0.3, 0.9}};  // 1 holds at 0.5
+  s.cluster_finish = {0.0, 0.5, 0.9};
+  s.makespan = 0.9;
+  EXPECT_NE(describe_invalid(s, 3).find("before sender holds"),
+            std::string::npos);
+}
+
+TEST(Schedule, ArrivalBeforeStartRejected) {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{0, 1, 1.0, 0.5}};
+  s.cluster_finish = {0.0, 1.0};
+  s.makespan = 1.0;
+  EXPECT_NE(describe_invalid(s, 2).find("arrival precedes"),
+            std::string::npos);
+}
+
+TEST(Schedule, SelfTransferRejected) {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{1, 1, 0.0, 0.5}};
+  s.cluster_finish = {0.0, 0.5};
+  s.makespan = 0.5;
+  EXPECT_NE(describe_invalid(s, 2).find("self"), std::string::npos);
+}
+
+TEST(Schedule, FinishBeforeHoldRejected) {
+  auto s = valid_two_transfer();
+  s.cluster_finish[2] = 0.5;  // holds only at 1.0
+  EXPECT_NE(describe_invalid(s, 3).find("finishes before"),
+            std::string::npos);
+}
+
+TEST(Schedule, MakespanBelowFinishRejected) {
+  auto s = valid_two_transfer();
+  s.makespan = 1.0;  // finish[2] = 1.5
+  EXPECT_NE(describe_invalid(s, 3).find("makespan"), std::string::npos);
+}
+
+TEST(Schedule, UncoveredClusterRejected) {
+  Schedule s;
+  s.root = 0;
+  s.transfers = {{0, 1, 0.0, 0.5}, {0, 1, 0.6, 1.1}};
+  s.cluster_finish = {0.0, 0.5, 0.0};
+  s.makespan = 1.1;
+  // Cluster 2 never receives (and 1 receives twice).
+  EXPECT_NE(describe_invalid(s, 3), "");
+}
+
+TEST(Schedule, PrintMentionsTransfersAndMakespan) {
+  std::ostringstream os;
+  valid_two_transfer().print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+  EXPECT_NE(out.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(out.find("1 -> 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridcast::sched

@@ -1,0 +1,99 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gridcast::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.processed(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(2.0, [&] { order.push_back(2); });
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsKeepInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NowAdvancesDuringRun) {
+  Engine e;
+  Time seen = -1.0;
+  e.at(5.5, [&] { seen = e.now(); });
+  const Time end = e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(end, 5.5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.5);
+}
+
+TEST(Engine, NestedSchedulingWorks) {
+  Engine e;
+  std::vector<Time> times;
+  e.at(1.0, [&] {
+    times.push_back(e.now());
+    e.at(2.0, [&] { times.push_back(e.now()); });
+    e.after(0.5, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  EXPECT_EQ(times, (std::vector<Time>{1.0, 1.5, 2.0}));
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.at(2.0, [&] { EXPECT_THROW(e.at(1.0, [] {}), LogicError); });
+  e.run();
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine e;
+  EXPECT_THROW(e.after(-1.0, [] {}), LogicError);
+}
+
+TEST(Engine, NullCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.at(1.0, Engine::Callback{}), LogicError);
+}
+
+TEST(Engine, CountsProcessedAndPending) {
+  Engine e;
+  e.at(1.0, [] {});
+  e.at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.processed(), 2u);
+}
+
+TEST(Engine, RunOnEmptyCalendarIsNoop) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.run(), 0.0);
+}
+
+TEST(Engine, HandlesManyEvents) {
+  Engine e;
+  std::size_t count = 0;
+  for (int i = 0; i < 100000; ++i)
+    e.at(static_cast<Time>(i % 977) * 1e-6, [&count] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 100000u);
+}
+
+}  // namespace
+}  // namespace gridcast::sim

@@ -1,0 +1,151 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace gridcast::sim {
+namespace {
+
+/// Two clusters of two nodes; zero-overhead parameters make every timing
+/// a closed form: intra gap 0.01+m/1e8, inter gap 0.001+m/1e7.
+topology::Grid test_grid() {
+  plogp::Params intra;
+  intra.L = 0.001;
+  intra.g = plogp::GapFunction::affine(0.01, 1e8);
+  intra.os = plogp::GapFunction::constant(0.0);
+  intra.orecv = plogp::GapFunction::constant(0.0);
+
+  plogp::Params inter;
+  inter.L = 0.1;
+  inter.g = plogp::GapFunction::affine(0.001, 1e7);
+  inter.os = plogp::GapFunction::constant(0.0);
+  inter.orecv = plogp::GapFunction::constant(0.0);
+
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("a", 2, intra);
+  cs.emplace_back("b", 2, intra);
+  topology::Grid g(std::move(cs));
+  g.set_link_symmetric(0, 1, inter);
+  return g;
+}
+
+TEST(Network, IntraClusterSendTiming) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  const Bytes m = 1000000;
+  const SendTiming t = net.send(0, 1, m);
+  EXPECT_DOUBLE_EQ(t.start, 0.0);
+  EXPECT_DOUBLE_EQ(t.injected, 0.01 + 0.01);  // gap = 0.01 + m/1e8
+  EXPECT_DOUBLE_EQ(t.delivered, t.injected + 0.001);
+}
+
+TEST(Network, InterClusterSendUsesLinkParams) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  const Bytes m = 1000000;
+  const SendTiming t = net.send(0, 2, m);  // rank 2 = cluster b coordinator
+  EXPECT_DOUBLE_EQ(t.injected, 0.001 + 0.1);  // gap = 0.001 + m/1e7
+  EXPECT_DOUBLE_EQ(t.delivered, t.injected + 0.1);
+}
+
+TEST(Network, NicSerializesSendsFromOneRank) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  const SendTiming a = net.send(0, 1, 0);
+  const SendTiming b = net.send(0, 2, 0);
+  EXPECT_DOUBLE_EQ(b.start, a.injected);
+  EXPECT_DOUBLE_EQ(net.nic_free(0), b.injected);
+}
+
+TEST(Network, DistinctSendersDoNotSerialize) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  const SendTiming a = net.send(0, 2, 0);
+  const SendTiming b = net.send(1, 3, 0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, 0.0);
+}
+
+TEST(Network, DeliveryCallbackFiresAtDeliveredTime) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  Time fired = -1.0;
+  const SendTiming t = net.send(0, 1, 500, [&](Time when) { fired = when; });
+  net.engine().run();
+  EXPECT_DOUBLE_EQ(fired, t.delivered);
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  (void)net.send(0, 1, 100);
+  (void)net.send(0, 2, 200);
+  EXPECT_EQ(net.messages(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+TEST(Network, SeparatesInterClusterTraffic) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  (void)net.send(0, 1, 100);  // intra (cluster a)
+  (void)net.send(0, 2, 200);  // inter (a -> b)
+  (void)net.send(2, 3, 400);  // intra (cluster b)
+  (void)net.send(3, 1, 800);  // inter (b -> a)
+  EXPECT_EQ(net.messages(), 4u);
+  EXPECT_EQ(net.inter_cluster_messages(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 1500u);
+  EXPECT_EQ(net.inter_cluster_bytes(), 1000u);
+}
+
+TEST(Network, SelfSendRejected) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  EXPECT_THROW((void)net.send(1, 1, 10), LogicError);
+}
+
+TEST(Network, RankOutOfRangeRejected) {
+  const topology::Grid grid = test_grid();
+  Network net(grid, {}, 1);
+  EXPECT_THROW((void)net.send(0, 4, 10), LogicError);
+  EXPECT_THROW((void)net.nic_free(4), LogicError);
+}
+
+TEST(Network, JitterPerturbsButStaysBounded) {
+  const topology::Grid grid = test_grid();
+  Network clean(grid, {}, 1);
+  const Time base = clean.send(0, 2, 1000000).delivered;
+
+  Network noisy(grid, {0.05}, 2);
+  const Time jittered = noisy.send(0, 2, 1000000).delivered;
+  EXPECT_NE(jittered, base);
+  EXPECT_GT(jittered, base * 0.8);
+  EXPECT_LT(jittered, base * 1.2);
+}
+
+TEST(Network, JitterDeterministicPerSeed) {
+  const topology::Grid grid = test_grid();
+  Network a(grid, {0.1}, 42), b(grid, {0.1}, 42);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(a.send(0, 2, 1000).delivered,
+                     b.send(0, 2, 1000).delivered);
+}
+
+TEST(Network, ReceiveOverheadIncludedInDelivery) {
+  plogp::Params p = plogp::Params::latency_bandwidth(ms(1), 1e7);
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("a", 2, p);
+  topology::Grid grid(std::move(cs));
+  Network net(grid, {}, 1);
+  const Bytes m = MiB(1);
+  const SendTiming t = net.send(0, 1, m);
+  EXPECT_DOUBLE_EQ(t.delivered, t.injected + p.L + p.orecv(m));
+}
+
+TEST(Network, ExcessiveJitterConfigThrows) {
+  const topology::Grid grid = test_grid();
+  EXPECT_THROW(Network(grid, {0.9}, 1), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::sim

@@ -1,0 +1,47 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridcast {
+namespace {
+
+TEST(Error, AssertPassesOnTrue) {
+  EXPECT_NO_THROW(GRIDCAST_ASSERT(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Error, AssertThrowsLogicError) {
+  EXPECT_THROW(GRIDCAST_ASSERT(false, "must fail"), LogicError);
+}
+
+TEST(Error, AssertMessageContainsExpressionAndText) {
+  try {
+    GRIDCAST_ASSERT(2 < 1, "two is not less than one");
+    FAIL() << "expected LogicError";
+  } catch (const LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertEvaluatesConditionOnce) {
+  int calls = 0;
+  const auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  GRIDCAST_ASSERT(count(), "");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Error, InvalidInputIsRuntimeError) {
+  EXPECT_THROW(throw InvalidInput("bad file"), std::runtime_error);
+}
+
+TEST(Error, LogicErrorIsLogicError) {
+  EXPECT_THROW(throw LogicError("bug"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gridcast

@@ -1,0 +1,101 @@
+#include "support/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace gridcast {
+namespace {
+
+/// RAII environment variable override.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Options, EnvStrUnsetIsEmpty) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", nullptr);
+  EXPECT_FALSE(env_str("GRIDCAST_TEST_VAR").has_value());
+}
+
+TEST(Options, EnvStrEmptyStringIsEmpty) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", "");
+  EXPECT_FALSE(env_str("GRIDCAST_TEST_VAR").has_value());
+}
+
+TEST(Options, EnvStrReadsValue) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", "hello");
+  EXPECT_EQ(env_str("GRIDCAST_TEST_VAR").value(), "hello");
+}
+
+TEST(Options, EnvU64Fallback) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", nullptr);
+  EXPECT_EQ(env_u64("GRIDCAST_TEST_VAR", 77), 77u);
+}
+
+TEST(Options, EnvU64Parses) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", "123456");
+  EXPECT_EQ(env_u64("GRIDCAST_TEST_VAR", 0), 123456u);
+}
+
+TEST(Options, EnvU64MalformedThrows) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", "12x");
+  EXPECT_THROW((void)env_u64("GRIDCAST_TEST_VAR", 0), InvalidInput);
+}
+
+TEST(Options, EnvU64NegativeThrows) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", "-5");
+  EXPECT_THROW((void)env_u64("GRIDCAST_TEST_VAR", 0), InvalidInput);
+}
+
+TEST(Options, EnvBoolVariants) {
+  for (const char* v : {"1", "true", "YES", "On"}) {
+    ScopedEnv e("GRIDCAST_TEST_VAR", v);
+    EXPECT_TRUE(env_bool("GRIDCAST_TEST_VAR", false)) << v;
+  }
+  for (const char* v : {"0", "false", "NO", "Off"}) {
+    ScopedEnv e("GRIDCAST_TEST_VAR", v);
+    EXPECT_FALSE(env_bool("GRIDCAST_TEST_VAR", true)) << v;
+  }
+}
+
+TEST(Options, EnvBoolMalformedThrows) {
+  ScopedEnv e("GRIDCAST_TEST_VAR", "maybe");
+  EXPECT_THROW((void)env_bool("GRIDCAST_TEST_VAR", false), InvalidInput);
+}
+
+TEST(Options, BenchOptionsDefaults) {
+  ScopedEnv a("GRIDCAST_ITERS", nullptr);
+  ScopedEnv b("GRIDCAST_SEED", nullptr);
+  ScopedEnv c("GRIDCAST_CSV", nullptr);
+  const BenchOptions o = BenchOptions::from_env(555);
+  EXPECT_EQ(o.iterations, 555u);
+  EXPECT_EQ(o.seed, 42u);
+  EXPECT_FALSE(o.csv);
+}
+
+TEST(Options, BenchOptionsOverrides) {
+  ScopedEnv a("GRIDCAST_ITERS", "9");
+  ScopedEnv b("GRIDCAST_SEED", "1234");
+  ScopedEnv c("GRIDCAST_CSV", "1");
+  ScopedEnv d("GRIDCAST_THREADS", "3");
+  const BenchOptions o = BenchOptions::from_env(555);
+  EXPECT_EQ(o.iterations, 9u);
+  EXPECT_EQ(o.seed, 1234u);
+  EXPECT_EQ(o.threads, 3u);
+  EXPECT_TRUE(o.csv);
+}
+
+}  // namespace
+}  // namespace gridcast

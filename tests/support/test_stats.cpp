@@ -1,0 +1,143 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridcast {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);   // population
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.25);
+  EXPECT_DOUBLE_EQ(s.max(), 3.25);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(RunningStats, SemShrinksWithSamples) {
+  RunningStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2);
+  EXPECT_GT(small.sem(), big.sem());
+}
+
+TEST(Histogram, CountsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(3), 1u);
+}
+
+TEST(Histogram, MergeIncompatibleThrows) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 2.0, 4);
+  EXPECT_THROW(a.merge(b), LogicError);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), LogicError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), LogicError);
+}
+
+TEST(Histogram, EmptyQuantileThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), LogicError);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(SampleSet, MergeCombines) {
+  SampleSet a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);
+}
+
+TEST(SampleSet, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW((void)s.quantile(0.5), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast

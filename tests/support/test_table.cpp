@@ -1,0 +1,75 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gridcast {
+namespace {
+
+TEST(Table, Dimensions) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[1], "y");
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), LogicError);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), LogicError);
+}
+
+TEST(Table, NumericRowFormatsWithPrecision) {
+  Table t({"k", "v1", "v2"});
+  t.add_row("row", {1.23456, 2.0}, 2);
+  EXPECT_EQ(t.row(0)[1], "1.23");
+  EXPECT_EQ(t.row(0)[2], "2.00");
+}
+
+TEST(Table, NumericRowWidthMismatchThrows) {
+  Table t({"k", "v"});
+  EXPECT_THROW(t.add_row("row", {1.0, 2.0}), LogicError);
+}
+
+TEST(Table, PrintContainsAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, RowOutOfRangeThrows) {
+  Table t({"a"});
+  EXPECT_THROW((void)t.row(0), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast

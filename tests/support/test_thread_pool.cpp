@@ -1,0 +1,103 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gridcast {
+namespace {
+
+TEST(ThreadPool, InlineWhenZeroWorkers) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(10, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t lo, std::size_t) {
+                                   if (lo == 0)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t, std::size_t) {
+      throw std::runtime_error("first");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t lo, std::size_t hi) {
+    sum += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPool, SequentialCallsReusePool) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(64, [&](std::size_t lo, std::size_t hi) {
+      total += hi - lo;
+    });
+    EXPECT_EQ(total.load(), 64u);
+  }
+}
+
+TEST(ThreadPool, ResultIndependentOfWorkerCount) {
+  // Chunk partitioning is by index, so a reduction over deterministic
+  // per-index values must not depend on the worker count.
+  const auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> vals(500);
+    pool.parallel_for(500, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        vals[i] = static_cast<double>(i * i % 97);
+    });
+    return std::accumulate(vals.begin(), vals.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(run(0), run(1));
+  EXPECT_DOUBLE_EQ(run(0), run(5));
+}
+
+}  // namespace
+}  // namespace gridcast

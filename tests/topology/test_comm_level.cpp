@@ -1,0 +1,58 @@
+#include "topology/comm_level.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridcast::topology {
+namespace {
+
+TEST(CommLevel, ClassifiesRepresentativeLatencies) {
+  EXPECT_EQ(classify_latency(ms(12)), CommLevel::kWan);
+  EXPECT_EQ(classify_latency(ms(5.2)), CommLevel::kWan);
+  EXPECT_EQ(classify_latency(us(250)), CommLevel::kLan);
+  EXPECT_EQ(classify_latency(us(47.56)), CommLevel::kLocalhost);
+  EXPECT_EQ(classify_latency(us(2)), CommLevel::kSharedMemory);
+}
+
+TEST(CommLevel, BoundariesAreInclusiveUpward) {
+  EXPECT_EQ(classify_latency(ms(2.0)), CommLevel::kWan);
+  EXPECT_EQ(classify_latency(us(100.0)), CommLevel::kLan);
+  EXPECT_EQ(classify_latency(us(10.0)), CommLevel::kLocalhost);
+  EXPECT_EQ(classify_latency(us(9.999)), CommLevel::kSharedMemory);
+}
+
+TEST(CommLevel, LatencyRangesAreOrderedByLevel) {
+  // Table 1: level 0 > level 1 > level 2 > level 3 in latency.
+  const auto wan = typical_latency(CommLevel::kWan);
+  const auto lan = typical_latency(CommLevel::kLan);
+  const auto local = typical_latency(CommLevel::kLocalhost);
+  const auto shm = typical_latency(CommLevel::kSharedMemory);
+  EXPECT_GE(wan.lo, lan.hi - 1e-12);
+  EXPECT_GE(lan.lo, local.hi - 1e-12);
+  EXPECT_GE(local.lo, shm.hi - 1e-12);
+}
+
+TEST(CommLevel, BandwidthRangesAreOrderedInversely) {
+  EXPECT_LT(typical_bandwidth(CommLevel::kWan).hi,
+            typical_bandwidth(CommLevel::kLan).hi + 1);
+  EXPECT_LT(typical_bandwidth(CommLevel::kLan).hi,
+            typical_bandwidth(CommLevel::kLocalhost).hi + 1);
+}
+
+TEST(CommLevel, RangeValuesClassifyBackToTheirLevel) {
+  for (const auto l : {CommLevel::kWan, CommLevel::kLan,
+                       CommLevel::kLocalhost, CommLevel::kSharedMemory}) {
+    const auto [lo, hi] = typical_latency(l);
+    EXPECT_EQ(classify_latency(lo), l);
+    EXPECT_EQ(classify_latency((lo + hi) / 2.0), l);
+  }
+}
+
+TEST(CommLevel, ToStringIsDistinct) {
+  EXPECT_EQ(to_string(CommLevel::kWan), "WAN-TCP");
+  EXPECT_EQ(to_string(CommLevel::kLan), "LAN-TCP");
+  EXPECT_EQ(to_string(CommLevel::kLocalhost), "localhost-TCP");
+  EXPECT_EQ(to_string(CommLevel::kSharedMemory), "shared-memory");
+}
+
+}  // namespace
+}  // namespace gridcast::topology

@@ -1,0 +1,93 @@
+#include "topology/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/comm_level.hpp"
+
+namespace gridcast::topology {
+namespace {
+
+TEST(Generator, ProducesValidGrid) {
+  GeneratorConfig cfg;
+  Rng rng(1);
+  const Grid g = random_grid(cfg, rng);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.cluster_count(), cfg.clusters);
+}
+
+TEST(Generator, ClusterSizesWithinBounds) {
+  GeneratorConfig cfg;
+  cfg.clusters = 12;
+  cfg.min_cluster_size = 3;
+  cfg.max_cluster_size = 9;
+  Rng rng(2);
+  const Grid g = random_grid(cfg, rng);
+  for (ClusterId c = 0; c < g.cluster_count(); ++c) {
+    EXPECT_GE(g.cluster(c).size(), 3u);
+    EXPECT_LE(g.cluster(c).size(), 9u);
+  }
+}
+
+TEST(Generator, DeterministicForSameRngState) {
+  GeneratorConfig cfg;
+  Rng a(7), b(7);
+  const Grid ga = random_grid(cfg, a);
+  const Grid gb = random_grid(cfg, b);
+  for (ClusterId c = 0; c < ga.cluster_count(); ++c) {
+    EXPECT_EQ(ga.cluster(c).size(), gb.cluster(c).size());
+    EXPECT_DOUBLE_EQ(ga.cluster(c).intra().L, gb.cluster(c).intra().L);
+  }
+  EXPECT_DOUBLE_EQ(ga.link(0, 1).L, gb.link(0, 1).L);
+}
+
+TEST(Generator, SameSiteLinksAreLan) {
+  GeneratorConfig cfg;
+  cfg.clusters = 6;
+  cfg.sites = 3;  // round-robin: clusters 0 and 3 share site 0
+  Rng rng(3);
+  const Grid g = random_grid(cfg, rng);
+  EXPECT_EQ(classify_latency(g.link(0, 3).L), CommLevel::kLan);
+  EXPECT_EQ(classify_latency(g.link(1, 4).L), CommLevel::kLan);
+  EXPECT_EQ(classify_latency(g.link(0, 1).L), CommLevel::kWan);
+}
+
+TEST(Generator, SingleSiteIsAllLan) {
+  GeneratorConfig cfg;
+  cfg.clusters = 4;
+  cfg.sites = 1;
+  Rng rng(4);
+  const Grid g = random_grid(cfg, rng);
+  for (ClusterId i = 0; i < 4; ++i)
+    for (ClusterId j = 0; j < 4; ++j)
+      if (i != j)
+        EXPECT_EQ(classify_latency(g.link(i, j).L), CommLevel::kLan);
+}
+
+TEST(Generator, InvalidConfigThrows) {
+  Rng rng(1);
+  GeneratorConfig zero;
+  zero.clusters = 0;
+  EXPECT_THROW((void)random_grid(zero, rng), LogicError);
+  GeneratorConfig bad_sizes;
+  bad_sizes.min_cluster_size = 10;
+  bad_sizes.max_cluster_size = 5;
+  EXPECT_THROW((void)random_grid(bad_sizes, rng), LogicError);
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, AlwaysValid) {
+  GeneratorConfig cfg;
+  cfg.clusters = 8;
+  cfg.sites = 2;
+  Rng rng(GetParam());
+  const Grid g = random_grid(cfg, rng);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GE(g.total_nodes(), 8u * cfg.min_cluster_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 5, 17, 101, 9999));
+
+}  // namespace
+}  // namespace gridcast::topology
