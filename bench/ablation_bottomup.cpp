@@ -18,10 +18,10 @@ int main() {
   ready.bottomup = sched::BottomUpPolicy::kReadyTimeAware;
   paper.bottomup = sched::BottomUpPolicy::kPaperFormula;
   const std::vector<sched::Scheduler> comps{
-      sched::Scheduler(sched::HeuristicKind::kBottomUp, ready),
-      sched::Scheduler(sched::HeuristicKind::kBottomUp, paper),
-      sched::Scheduler(sched::HeuristicKind::kFef),
-      sched::Scheduler(sched::HeuristicKind::kEcefLaMax)};
+      sched::Scheduler("BottomUp", ready),
+      sched::Scheduler("BottomUp", paper),
+      sched::Scheduler("FEF"),
+      sched::Scheduler("ECEF-LAT")};
 
   Table t({"clusters", "BottomUp(RT-aware)", "BottomUp(paper-formula)", "FEF",
            "ECEF-LAT"});

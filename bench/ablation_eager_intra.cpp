@@ -17,7 +17,7 @@ int main() {
                        opt);
 
   const topology::Grid grid = topology::grid5000_testbed();
-  const sched::Scheduler s(sched::HeuristicKind::kEcefLa);
+  const sched::Scheduler s("ECEF-LA");
 
   Table t({"bytes", "relay-first", "local-first", "penalty"});
   for (const Bytes m : {KiB(256), MiB(1), MiB(2), MiB(4)}) {

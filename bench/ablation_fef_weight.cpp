@@ -19,9 +19,9 @@ int main() {
   gl.fef_weight = sched::FefWeight::kGapPlusLatency;
   lonly.fef_weight = sched::FefWeight::kLatencyOnly;
   const std::vector<sched::Scheduler> comps{
-      sched::Scheduler(sched::HeuristicKind::kFef, gl),
-      sched::Scheduler(sched::HeuristicKind::kFef, lonly),
-      sched::Scheduler(sched::HeuristicKind::kEcef)};
+      sched::Scheduler("FEF", gl),
+      sched::Scheduler("FEF", lonly),
+      sched::Scheduler("ECEF")};
 
   Table t({"clusters", "FEF(g+L ablation)", "FEF(L only, paper)", "ECEF"});
   for (const std::size_t n : {4UL, 8UL, 16UL, 32UL, 50UL}) {

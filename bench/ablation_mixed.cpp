@@ -28,13 +28,13 @@ int main() {
 
     // Index into the family: 1 = ECEF-LA, 3 = ECEF-LAT.
     const std::size_t pick =
-        mixed.choice(n) == sched::HeuristicKind::kEcefLa ? 1 : 3;
+        mixed.choice(n) == "ECEF-LA" ? 1 : 3;
     t.add_row({std::to_string(n), Table::fmt(r.makespan[1].mean(), 3),
                Table::fmt(r.makespan[3].mean(), 3),
                Table::fmt(r.makespan[pick].mean(), 3),
                std::to_string(r.hits[1]), std::to_string(r.hits[3]),
                std::to_string(r.hits[pick]),
-               std::string(to_string(mixed.choice(n)))});
+               std::string(mixed.choice(n))});
   }
   benchx::emit(t, opt);
   return 0;

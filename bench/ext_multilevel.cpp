@@ -33,7 +33,7 @@ int main() {
     const Time flat =
         collective::run_hierarchical_bcast(
             flat_net, 0,
-            sched::Scheduler(sched::HeuristicKind::kFlatTree).order(inst), m)
+            sched::Scheduler("FlatTree").order(inst), m)
             .completion;
 
     sim::Network ml_net(grid, {}, opt.seed);
@@ -44,7 +44,7 @@ int main() {
     const Time ecef =
         collective::run_hierarchical_bcast(
             ecef_net, 0,
-            sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst), m)
+            sched::Scheduler("ECEF-LA").order(inst), m)
             .completion;
 
     t.add_row(std::to_string(m), {lam, flat, multi, ecef}, 3);

@@ -24,7 +24,8 @@ int main() {
   opts.completion = sched::CompletionModel::kAfterLastSend;
   const auto comps = sched::paper_heuristics(opts);
   const auto sizes = exp::default_size_ladder();
-  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes);
+  ThreadPool pool(opt.threads);
+  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes, pool);
 
   std::vector<std::string> header{"bytes"};
   for (const auto& s : sweep.series) header.push_back(s.name);

@@ -26,8 +26,9 @@ int main() {
   const topology::Grid grid = topology::grid5000_testbed();
   const auto comps = sched::paper_heuristics();
   const auto sizes = exp::default_size_ladder();
+  ThreadPool pool(opt.threads);
   const auto sweep =
-      exp::measured_sweep(grid, 0, comps, sizes, {jitter}, opt.seed);
+      exp::measured_sweep(grid, 0, comps, sizes, {jitter}, opt.seed, pool);
 
   std::vector<std::string> header{"bytes"};
   for (const auto& s : sweep.series) header.push_back(s.name);

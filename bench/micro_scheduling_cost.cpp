@@ -20,9 +20,9 @@ sched::Instance make_instance(std::size_t clusters) {
   return exp::sample_instance(exp::ParamRanges::paper(), clusters, rng);
 }
 
-void BM_Heuristic(benchmark::State& state, sched::HeuristicKind kind) {
+void BM_Heuristic(benchmark::State& state, const char* name) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
-  const sched::Scheduler s(kind);
+  const sched::Scheduler s(name);
   for (auto _ : state) {
     benchmark::DoNotOptimize(s.makespan(inst));
   }
@@ -37,18 +37,18 @@ void BM_OptimalSearch(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_Heuristic, FlatTree, sched::HeuristicKind::kFlatTree)
+BENCHMARK_CAPTURE(BM_Heuristic, FlatTree, "FlatTree")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
-BENCHMARK_CAPTURE(BM_Heuristic, FEF, sched::HeuristicKind::kFef)
+BENCHMARK_CAPTURE(BM_Heuristic, FEF, "FEF")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
-BENCHMARK_CAPTURE(BM_Heuristic, ECEF, sched::HeuristicKind::kEcef)
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF, "ECEF")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
-BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LA, sched::HeuristicKind::kEcefLa)
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LA, "ECEF-LA")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
-BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LAt, sched::HeuristicKind::kEcefLaMin)
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LAt, "ECEF-LAt")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
-BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LAT, sched::HeuristicKind::kEcefLaMax)
+BENCHMARK_CAPTURE(BM_Heuristic, ECEF_LAT, "ECEF-LAT")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
-BENCHMARK_CAPTURE(BM_Heuristic, BottomUp, sched::HeuristicKind::kBottomUp)
+BENCHMARK_CAPTURE(BM_Heuristic, BottomUp, "BottomUp")
     ->Arg(5)->Arg(10)->Arg(25)->Arg(50);
 BENCHMARK(BM_OptimalSearch)->Arg(4)->Arg(6)->Arg(7);

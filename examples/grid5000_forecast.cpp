@@ -5,11 +5,13 @@
 // worst strategy.
 
 #include <iostream>
+#include <string_view>
 
 #include "collective/bcast.hpp"
 #include "exp/sweep.hpp"
 #include "sched/registry.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "topology/grid5000.hpp"
 
 int main() {
@@ -25,7 +27,8 @@ int main() {
 
   const auto comps = sched::paper_heuristics();
   const std::vector<Bytes> sizes{KiB(512), MiB(1), MiB(2), MiB(4)};
-  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes);
+  ThreadPool pool(ThreadPool::default_workers());
+  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes, pool);
 
   Table t([&] {
     std::vector<std::string> h{"message"};
@@ -40,15 +43,13 @@ int main() {
   std::cout << "Predicted completion time (s), per heuristic:\n";
   t.print(std::cout);
 
-  // Execute the extremes on the simulator for comparison.
-  const sched::Instance inst = sched::Instance::from_grid(grid, 0, MiB(4));
-  for (const auto kind :
-       {sched::HeuristicKind::kFlatTree, sched::HeuristicKind::kEcefLaMax}) {
-    const sched::Scheduler s(kind);
+  // Execute the extremes on the simulator for comparison, straight from
+  // the registry entry (the collective derives the instance itself).
+  for (const std::string_view name : {"FlatTree", "ECEF-LAT"}) {
+    const auto entry = sched::registry().make(name);
     sim::Network net(grid, {}, 1);
-    const auto r =
-        collective::run_hierarchical_bcast(net, 0, s.order(inst), MiB(4));
-    std::cout << "\nSimulated 4 MiB broadcast with " << s.name() << ": "
+    const auto r = collective::run_hierarchical_bcast(net, 0, *entry, MiB(4));
+    std::cout << "\nSimulated 4 MiB broadcast with " << entry->name() << ": "
               << r.completion << " s (" << r.messages << " messages)\n";
   }
   return 0;

@@ -6,6 +6,7 @@
 
 #include "collective/alltoall.hpp"
 #include "collective/scatter.hpp"
+#include "sched/registry.hpp"
 #include "support/table.hpp"
 #include "topology/grid5000.hpp"
 
@@ -33,6 +34,15 @@ int main() {
                  Table::fmt(r.completion, 3), std::to_string(r.messages),
                  Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
     }
+    {
+      // Registry-driven: the WAN injection order comes from a heuristic.
+      const auto entry = sched::registry().make("ECEF-LA");
+      sim::Network net(grid, {}, 1);
+      const auto r = collective::run_hierarchical_scatter(net, 0, block, *entry);
+      t.add_row({"scatter " + std::to_string(block) + "B", "sched:ECEF-LA",
+                 Table::fmt(r.completion, 3), std::to_string(r.messages),
+                 Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
+    }
   }
   for (const Bytes block : {KiB(4), KiB(16)}) {
     {
@@ -46,6 +56,14 @@ int main() {
       sim::Network net(grid, {}, 1);
       const auto r = collective::run_hierarchical_alltoall(net, block);
       t.add_row({"alltoall " + std::to_string(block) + "B", "grid-aware",
+                 Table::fmt(r.completion, 3), std::to_string(r.messages),
+                 Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
+    }
+    {
+      const auto entry = sched::registry().make("ECEF-LA");
+      sim::Network net(grid, {}, 1);
+      const auto r = collective::run_hierarchical_alltoall(net, block, *entry);
+      t.add_row({"alltoall " + std::to_string(block) + "B", "sched:ECEF-LA",
                  Table::fmt(r.completion, 3), std::to_string(r.messages),
                  Table::fmt(static_cast<double>(r.bytes) / 1e6, 1)});
     }

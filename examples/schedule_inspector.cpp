@@ -4,6 +4,7 @@
 // external tooling.
 
 #include <iostream>
+#include <string_view>
 
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
@@ -18,9 +19,8 @@ int main() {
   const Bytes m = MiB(4);
   const sched::Instance inst = sched::Instance::from_grid(grid, 0, m);
 
-  for (const auto kind :
-       {sched::HeuristicKind::kFlatTree, sched::HeuristicKind::kEcefLa}) {
-    const sched::Scheduler s(kind);
+  for (const std::string_view name : {"FlatTree", "ECEF-LA"}) {
+    const sched::Scheduler s(name);
     const sched::Schedule sched_ = s.run(inst);
     const sched::ScheduleAnalysis a = sched::analyze(inst, sched_);
 
@@ -37,8 +37,7 @@ int main() {
   }
 
   // Persist the instance and the winning schedule for external tools.
-  const sched::Schedule best =
-      sched::Scheduler(sched::HeuristicKind::kEcefLa).run(inst);
+  const sched::Schedule best = sched::Scheduler("ECEF-LA").run(inst);
   std::cout << "instance file:\n"
             << io::instance_to_string(inst).substr(0, 120) << "...\n\n";
   std::cout << "schedule JSON:\n" << io::schedule_to_json(best) << "\n";

@@ -69,7 +69,13 @@ AlltoallResult run_naive_alltoall(sim::Network& net, Bytes block) {
   return collect(net, st);
 }
 
-AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block) {
+namespace {
+
+/// Shared body of the coordinator-routed exchange.  `dest_order[c]` fixes
+/// the sequence in which coordinator c injects its per-cluster aggregates.
+AlltoallResult hierarchical_alltoall_over(
+    sim::Network& net, Bytes block,
+    const std::vector<std::vector<ClusterId>>& dest_order) {
   const auto& grid = net.grid();
   const auto n = net.ranks();
   const auto n_clusters = static_cast<ClusterId>(grid.cluster_count());
@@ -106,11 +112,11 @@ AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block) {
   gathered->assign(n_clusters, 0);
 
   const auto maybe_exchange = [&net, &grid, st, coord, gathered, block,
-                               n_clusters](ClusterId c) {
+                               &dest_order](ClusterId c) {
     if ((*gathered)[c] < grid.cluster(c).size() - 1) return;
     (*gathered)[c] = UINT32_MAX;  // fire once
     const std::uint32_t size_c = grid.cluster(c).size();
-    for (ClusterId d = 0; d < n_clusters; ++d) {
+    for (const ClusterId d : dest_order[c]) {
       if (d == c) continue;
       const std::uint32_t size_d = grid.cluster(d).size();
       const Bytes aggregate =
@@ -153,6 +159,37 @@ AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block) {
     // Degenerate grid: the intra exchange above is the whole operation.
   }
   return collect(net, st);
+}
+
+}  // namespace
+
+AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block) {
+  const auto& grid = net.grid();
+  const auto n_clusters = static_cast<ClusterId>(grid.cluster_count());
+  // Default sequence: ascending cluster id (the classic exchange).
+  std::vector<std::vector<ClusterId>> dest_order(n_clusters);
+  for (ClusterId c = 0; c < n_clusters; ++c)
+    for (ClusterId d = 0; d < n_clusters; ++d)
+      if (d != c) dest_order[c].push_back(d);
+  return hierarchical_alltoall_over(net, block, dest_order);
+}
+
+AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block,
+                                         const sched::SchedulerEntry& sched) {
+  const auto& grid = net.grid();
+  const auto n_clusters = static_cast<ClusterId>(grid.cluster_count());
+  std::vector<std::vector<ClusterId>> dest_order(n_clusters);
+  for (ClusterId c = 0; c < n_clusters; ++c) {
+    if (n_clusters < 2) break;
+    const sched::Instance inst = sched::Instance::from_grid(grid, c, block);
+    const sched::SchedulerRuntimeInfo info(inst, block);
+    GRIDCAST_ASSERT(sched.can_schedule(info),
+                    "scheduler cannot handle this instance");
+    // Receiver appearance order of a broadcast rooted at c becomes c's
+    // injection sequence.
+    for (const auto& [s, r] : sched.order(info)) dest_order[c].push_back(r);
+  }
+  return hierarchical_alltoall_over(net, block, dest_order);
 }
 
 }  // namespace gridcast::collective

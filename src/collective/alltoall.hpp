@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "sched/scheduler_entry.hpp"
 #include "sim/network.hpp"
 #include "support/types.hpp"
 
@@ -39,5 +40,12 @@ struct AlltoallResult {
 /// Coordinator-routed exchange (see header comment).
 [[nodiscard]] AlltoallResult run_hierarchical_alltoall(sim::Network& net,
                                                        Bytes block);
+
+/// Scheduler-driven form: each coordinator sequences its outgoing
+/// aggregates by the order `sched` would reach the other clusters in a
+/// broadcast rooted at itself (slow links first / last per the entry's
+/// policy), instead of ascending cluster id.
+[[nodiscard]] AlltoallResult run_hierarchical_alltoall(
+    sim::Network& net, Bytes block, const sched::SchedulerEntry& sched);
 
 }  // namespace gridcast::collective

@@ -220,6 +220,18 @@ BcastResult run_hierarchical_bcast(sim::Network& net, ClusterId root_cluster,
   return collect(net, st);
 }
 
+BcastResult run_hierarchical_bcast(sim::Network& net, ClusterId root_cluster,
+                                   const sched::SchedulerEntry& sched, Bytes m,
+                                   IntraOrder intra_order) {
+  const sched::Instance inst =
+      sched::Instance::from_grid(net.grid(), root_cluster, m);
+  const sched::SchedulerRuntimeInfo info(inst, m);
+  GRIDCAST_ASSERT(sched.can_schedule(info),
+                  "scheduler cannot handle this instance");
+  return run_hierarchical_bcast(net, root_cluster, sched.order(info), m,
+                                intra_order);
+}
+
 BcastResult run_grid_unaware_binomial(sim::Network& net,
                                       ClusterId root_cluster, Bytes m) {
   const auto& grid = net.grid();

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sched/schedule.hpp"
+#include "sched/scheduler_entry.hpp"
 #include "sim/network.hpp"
 #include "support/types.hpp"
 
@@ -63,6 +64,15 @@ enum class IntraOrder : std::uint8_t {
 [[nodiscard]] BcastResult run_hierarchical_bcast(
     sim::Network& net, ClusterId root_cluster, const sched::SendOrder& order,
     Bytes m, IntraOrder intra_order = IntraOrder::kRelayFirst);
+
+/// Scheduler-driven form: derives the instance the grid poses for an
+/// m-byte broadcast, asks `sched` for the order (after `can_schedule`),
+/// and executes it.  This is the one-call path from a registry entry
+/// (`registry().make("ECEF-LAT")`) to a measured completion time.
+[[nodiscard]] BcastResult run_hierarchical_bcast(
+    sim::Network& net, ClusterId root_cluster,
+    const sched::SchedulerEntry& sched, Bytes m,
+    IntraOrder intra_order = IntraOrder::kRelayFirst);
 
 /// The "Default LAM" comparator of Fig. 6: a grid-unaware binomial tree
 /// over all ranks in global rank order, rooted at `root_cluster`'s

@@ -57,23 +57,19 @@ ScatterResult run_naive_scatter(sim::Network& net, ClusterId root_cluster,
   return collect(net, st);
 }
 
-ScatterResult run_hierarchical_scatter(sim::Network& net,
-                                       ClusterId root_cluster, Bytes block) {
+namespace {
+
+/// Shared body of the two-level scatter: `remote` fixes the root's WAN
+/// injection sequence.
+ScatterResult hierarchical_scatter_over(sim::Network& net,
+                                        ClusterId root_cluster, Bytes block,
+                                        const std::vector<ClusterId>& remote) {
   const auto& grid = net.grid();
   GRIDCAST_ASSERT(root_cluster < grid.cluster_count(),
                   "root cluster out of range");
   auto st = make_state(net);
   const NodeId root = grid.global_rank(root_cluster, 0);
   st->delivered[root] = net.engine().now();
-
-  // Remote clusters first (they cross the WAN; start them earliest),
-  // largest aggregate first so the big transfers overlap the local work.
-  std::vector<ClusterId> remote;
-  for (ClusterId c = 0; c < grid.cluster_count(); ++c)
-    if (c != root_cluster) remote.push_back(c);
-  std::sort(remote.begin(), remote.end(), [&](ClusterId a, ClusterId b) {
-    return grid.cluster(a).size() > grid.cluster(b).size();
-  });
 
   for (const ClusterId c : remote) {
     const NodeId coord = grid.global_rank(c, 0);
@@ -96,6 +92,43 @@ ScatterResult run_hierarchical_scatter(sim::Network& net,
     net.send(root, dst, block, [st, dst](Time t) { st->delivered[dst] = t; });
   }
   return collect(net, st);
+}
+
+}  // namespace
+
+ScatterResult run_hierarchical_scatter(sim::Network& net,
+                                       ClusterId root_cluster, Bytes block) {
+  const auto& grid = net.grid();
+  GRIDCAST_ASSERT(root_cluster < grid.cluster_count(),
+                  "root cluster out of range");
+  // Remote clusters first (they cross the WAN; start them earliest),
+  // largest aggregate first so the big transfers overlap the local work.
+  std::vector<ClusterId> remote;
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c)
+    if (c != root_cluster) remote.push_back(c);
+  std::sort(remote.begin(), remote.end(), [&](ClusterId a, ClusterId b) {
+    return grid.cluster(a).size() > grid.cluster(b).size();
+  });
+  return hierarchical_scatter_over(net, root_cluster, block, remote);
+}
+
+ScatterResult run_hierarchical_scatter(sim::Network& net,
+                                       ClusterId root_cluster, Bytes block,
+                                       const sched::SchedulerEntry& sched) {
+  const auto& grid = net.grid();
+  GRIDCAST_ASSERT(root_cluster < grid.cluster_count(),
+                  "root cluster out of range");
+  const sched::Instance inst =
+      sched::Instance::from_grid(grid, root_cluster, block);
+  const sched::SchedulerRuntimeInfo info(inst, block);
+  GRIDCAST_ASSERT(sched.can_schedule(info),
+                  "scheduler cannot handle this instance");
+  // Each non-root cluster appears exactly once as a receiver in a valid
+  // SendOrder; that appearance sequence becomes the injection sequence.
+  std::vector<ClusterId> remote;
+  remote.reserve(grid.cluster_count() - 1);
+  for (const auto& [s, r] : sched.order(info)) remote.push_back(r);
+  return hierarchical_scatter_over(net, root_cluster, block, remote);
 }
 
 }  // namespace gridcast::collective

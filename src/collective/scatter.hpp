@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "sched/scheduler_entry.hpp"
 #include "sim/network.hpp"
 #include "support/types.hpp"
 
@@ -35,5 +36,13 @@ struct ScatterResult {
 [[nodiscard]] ScatterResult run_hierarchical_scatter(sim::Network& net,
                                                      ClusterId root_cluster,
                                                      Bytes block);
+
+/// Scheduler-driven form: the root's WAN injections are sequenced by when
+/// each cluster is reached in `sched`'s broadcast order, so the scatter
+/// reuses the same grid knowledge the broadcast heuristics encode (urgent
+/// clusters first) instead of the size-sorted default above.
+[[nodiscard]] ScatterResult run_hierarchical_scatter(
+    sim::Network& net, ClusterId root_cluster, Bytes block,
+    const sched::SchedulerEntry& sched);
 
 }  // namespace gridcast::collective

@@ -14,21 +14,83 @@ std::vector<Bytes> default_size_ladder() {
 
 SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
                             const std::vector<sched::Scheduler>& comps,
-                            std::span<const Bytes> sizes) {
+                            std::span<const Bytes> sizes, ThreadPool& pool) {
   GRIDCAST_ASSERT(!comps.empty(), "no competitors");
   GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
 
   SweepResult out;
   out.sizes.assign(sizes.begin(), sizes.end());
   out.series.resize(comps.size());
-  for (std::size_t s = 0; s < comps.size(); ++s)
+  for (std::size_t s = 0; s < comps.size(); ++s) {
     out.series[s].name = comps[s].name();
-
-  for (const Bytes m : sizes) {
-    const sched::Instance inst = sched::Instance::from_grid(grid, root, m);
-    for (std::size_t s = 0; s < comps.size(); ++s)
-      out.series[s].completion.push_back(comps[s].makespan(inst));
+    out.series[s].completion.assign(sizes.size(), 0.0);
   }
+
+  // One task per message size: the instance derivation (O(clusters^2)) is
+  // shared by all competitors of that size.  Cells are written by index,
+  // so any worker count produces the same result.
+  pool.parallel_for(sizes.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const sched::Instance inst =
+          sched::Instance::from_grid(grid, root, sizes[i]);
+      for (std::size_t s = 0; s < comps.size(); ++s) {
+        const sched::SchedulerRuntimeInfo info(inst, sizes[i],
+                                               comps[s].options().completion);
+        out.series[s].completion[i] =
+            sched::evaluate_order(inst, comps[s].order(info),
+                                  info.completion())
+                .makespan;
+      }
+    }
+  });
+  return out;
+}
+
+SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
+                            const std::vector<sched::Scheduler>& comps,
+                            std::span<const Bytes> sizes) {
+  ThreadPool inline_pool(0);
+  return predicted_sweep(grid, root, comps, sizes, inline_pool);
+}
+
+SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,
+                           const std::vector<sched::Scheduler>& comps,
+                           std::span<const Bytes> sizes,
+                           sim::JitterConfig jitter, std::uint64_t seed,
+                           ThreadPool& pool) {
+  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
+  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
+
+  const std::size_t n_series = comps.size() + 1;
+  SweepResult out;
+  out.sizes.assign(sizes.begin(), sizes.end());
+  out.series.resize(n_series);
+  out.series[0].name = "DefaultLAM";
+  for (std::size_t s = 0; s < comps.size(); ++s)
+    out.series[s + 1].name = comps[s].name();
+  for (auto& series : out.series) series.completion.assign(sizes.size(), 0.0);
+
+  // One task per (size, series) cell; each simulates on its own Network
+  // whose seed is derived from the cell index, never from scheduling
+  // order, so results are bit-identical for any worker count.
+  pool.parallel_for(
+      sizes.size() * n_series, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t cell = lo; cell < hi; ++cell) {
+          const std::size_t i = cell / n_series;
+          const std::size_t s = cell % n_series;
+          const Bytes m = sizes[i];
+          sim::Network net(grid, jitter, seed + cell);
+          if (s == 0) {
+            out.series[0].completion[i] =
+                collective::run_grid_unaware_binomial(net, root, m).completion;
+          } else {
+            out.series[s].completion[i] =
+                collective::run_hierarchical_bcast(
+                    net, root, comps[s - 1].entry(), m)
+                    .completion;
+          }
+        }
+      });
   return out;
 }
 
@@ -36,32 +98,8 @@ SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,
                            const std::vector<sched::Scheduler>& comps,
                            std::span<const Bytes> sizes,
                            sim::JitterConfig jitter, std::uint64_t seed) {
-  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
-  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
-
-  SweepResult out;
-  out.sizes.assign(sizes.begin(), sizes.end());
-  out.series.resize(comps.size() + 1);
-  out.series[0].name = "DefaultLAM";
-  for (std::size_t s = 0; s < comps.size(); ++s)
-    out.series[s + 1].name = comps[s].name();
-
-  std::uint64_t run_id = 0;
-  for (const Bytes m : sizes) {
-    {
-      sim::Network net(grid, jitter, seed + run_id++);
-      out.series[0].completion.push_back(
-          collective::run_grid_unaware_binomial(net, root, m).completion);
-    }
-    const sched::Instance inst = sched::Instance::from_grid(grid, root, m);
-    for (std::size_t s = 0; s < comps.size(); ++s) {
-      const sched::SendOrder order = comps[s].order(inst);
-      sim::Network net(grid, jitter, seed + run_id++);
-      out.series[s + 1].completion.push_back(
-          collective::run_hierarchical_bcast(net, root, order, m).completion);
-    }
-  }
-  return out;
+  ThreadPool inline_pool(0);
+  return measured_sweep(grid, root, comps, sizes, jitter, seed, inline_pool);
 }
 
 }  // namespace gridcast::exp

@@ -6,6 +6,7 @@
 
 #include "sched/registry.hpp"
 #include "sim/network.hpp"
+#include "support/thread_pool.hpp"
 #include "topology/grid.hpp"
 
 /// Message-size sweeps over a concrete grid (Figs. 5 and 6).
@@ -31,14 +32,26 @@ struct SweepResult {
 /// The paper's Fig. 5/6 x-axis: 256 KiB steps from 256 KiB to 4.25 MiB.
 [[nodiscard]] std::vector<Bytes> default_size_ladder();
 
-/// Model-predicted completion per size and scheduler (Fig. 5).
+/// Model-predicted completion per size and scheduler (Fig. 5).  Sizes are
+/// dispatched across `pool` (results are identical for any worker count);
+/// the overload without a pool runs inline.
+[[nodiscard]] SweepResult predicted_sweep(
+    const topology::Grid& grid, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
+    ThreadPool& pool);
 [[nodiscard]] SweepResult predicted_sweep(
     const topology::Grid& grid, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes);
 
 /// Simulator-measured completion per size and scheduler, plus the
 /// "DefaultLAM" grid-unaware binomial series (Fig. 6).  `jitter` perturbs
-/// per-message gap/latency; `seed` drives it.
+/// per-message gap/latency; `seed` drives it.  Every (size, series) cell
+/// simulates on its own Network seeded by its cell index, so the result is
+/// identical for any worker count.
+[[nodiscard]] SweepResult measured_sweep(
+    const topology::Grid& grid, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
+    sim::JitterConfig jitter, std::uint64_t seed, ThreadPool& pool);
 [[nodiscard]] SweepResult measured_sweep(
     const topology::Grid& grid, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,

@@ -16,8 +16,8 @@
 ///
 ///     gridcast-grid v1
 ///     clusters <n>
-///     cluster <name> <size> <algorithm> params <L> fn <k> <size value>... \
-///         fn <k> ... fn <k> ...          # g, os, or sample lists
+///     cluster <name> <size> <algorithm> params <L> fn <k> <size value>...
+///         ... fn <k> ... fn <k> ...      # g, os, or sample lists
 ///     link <from> <to> params ...        # one per ordered pair
 ///     end
 ///

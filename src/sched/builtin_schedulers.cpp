@@ -1,0 +1,109 @@
+#include "sched/builtin_schedulers.hpp"
+
+#include "sched/mixed.hpp"
+#include "sched/registry.hpp"
+#include "support/error.hpp"
+
+namespace gridcast::sched {
+
+SendOrder FlatTreeScheduler::order(const SchedulerRuntimeInfo& info) const {
+  return flat_tree_order(info.instance());
+}
+
+SendOrder FefScheduler::order(const SchedulerRuntimeInfo& info) const {
+  return fef_order(info.instance(), opts_.fef_weight);
+}
+
+std::string FefScheduler::describe_options() const {
+  return opts_.fef_weight == FefWeight::kLatencyOnly ? "weight=latency"
+                                                     : "weight=gap+latency";
+}
+
+std::string_view EcefScheduler::name() const noexcept {
+  switch (la_) {
+    case Lookahead::kNone: return "ECEF";
+    case Lookahead::kMinEdge: return "ECEF-LA";
+    case Lookahead::kMinEdgePlusT: return "ECEF-LAt";
+    case Lookahead::kMaxEdgePlusT: return "ECEF-LAT";
+    case Lookahead::kAvgEdge: return "ECEF-AvgEdge";
+    case Lookahead::kAvgAfterMove: return "ECEF-AvgMove";
+  }
+  return "ECEF-?";
+}
+
+SendOrder EcefScheduler::order(const SchedulerRuntimeInfo& info) const {
+  return ecef_order(info.instance(), la_);
+}
+
+std::string EcefScheduler::describe_options() const {
+  switch (la_) {
+    case Lookahead::kNone: return "lookahead=none";
+    case Lookahead::kMinEdge: return "lookahead=min(g+L)";
+    case Lookahead::kMinEdgePlusT: return "lookahead=min(g+L+T)";
+    case Lookahead::kMaxEdgePlusT: return "lookahead=max(g+L+T)";
+    case Lookahead::kAvgEdge: return "lookahead=avg(g+L)";
+    case Lookahead::kAvgAfterMove: return "lookahead=avg-after-move";
+  }
+  return {};
+}
+
+SendOrder BottomUpScheduler::order(const SchedulerRuntimeInfo& info) const {
+  return bottomup_order(info.instance(), opts_.bottomup);
+}
+
+std::string BottomUpScheduler::describe_options() const {
+  return opts_.bottomup == BottomUpPolicy::kReadyTimeAware
+             ? "inner-cost=ready-time-aware"
+             : "inner-cost=paper-formula";
+}
+
+void register_builtin_schedulers(SchedulerRegistry& reg) {
+  reg.add(
+      "FlatTree",
+      [](const HeuristicOptions& o) {
+        return std::make_shared<const FlatTreeScheduler>(o);
+      },
+      {"flattree", "flat-tree", "flat"});
+  reg.add(
+      "FEF",
+      [](const HeuristicOptions& o) {
+        return std::make_shared<const FefScheduler>(o);
+      },
+      {"fef"});
+  const auto ecef = [&reg](Lookahead la, std::vector<std::string> aliases) {
+    // Canonical name comes from the entry itself so the two can't drift.
+    const std::string name{EcefScheduler(la).name()};
+    reg.add(
+        name,
+        [la](const HeuristicOptions& o) {
+          return std::make_shared<const EcefScheduler>(la, o);
+        },
+        std::move(aliases));
+  };
+  ecef(Lookahead::kNone, {"ecef"});
+  ecef(Lookahead::kMinEdge, {"ecef-la"});
+  // Folding "ECEF-LAt" and "ECEF-LAT" to lowercase collides, so the
+  // aliases are explicit: the bare "ecef-lat" goes to the balance-oriented
+  // LAT variant, and each variant gets an unambiguous -min/-max form.
+  ecef(Lookahead::kMinEdgePlusT, {"ecef-la-min"});
+  ecef(Lookahead::kMaxEdgePlusT, {"ecef-lat", "ecef-la-max"});
+  ecef(Lookahead::kAvgEdge, {"ecef-avgedge", "ecef-avg"});
+  ecef(Lookahead::kAvgAfterMove, {"ecef-avgmove"});
+  reg.add(
+      "BottomUp",
+      [](const HeuristicOptions& o) {
+        return std::make_shared<const BottomUpScheduler>(o);
+      },
+      {"bottomup", "bottom-up"});
+  // The paper's Section 6 deployment recommendation, itself selectable by
+  // name.  Its factory resolves the delegates through the registry at
+  // make() time (safe: factories run outside the registry lock).
+  reg.add(
+      "Mixed",
+      [](const HeuristicOptions& o) {
+        return std::make_shared<const MixedStrategy>(10, o);
+      },
+      {"mixed"});
+}
+
+}  // namespace gridcast::sched

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "sched/scheduler_entry.hpp"
+
+/// Concrete `SchedulerEntry` subclasses for the paper's heuristics, one
+/// class per selection rule.  The ECEF family is one class parameterised
+/// by its lookahead function — the class also exposes the two alternative
+/// lookaheads Bhat suggested ("ECEF-AvgEdge", "ECEF-AvgMove"), which the
+/// paper recounts but does not race.
+///
+/// Normal code should not construct these directly; go through
+/// `registry().make(name, opts)` so strategy choice stays a runtime
+/// string, not a compile-time type.
+namespace gridcast::sched {
+
+class FlatTreeScheduler final : public SchedulerEntry {
+ public:
+  using SchedulerEntry::SchedulerEntry;
+  using SchedulerEntry::order;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "FlatTree";
+  }
+  [[nodiscard]] SendOrder order(
+      const SchedulerRuntimeInfo& info) const override;
+};
+
+class FefScheduler final : public SchedulerEntry {
+ public:
+  using SchedulerEntry::SchedulerEntry;
+  using SchedulerEntry::order;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "FEF";
+  }
+  [[nodiscard]] SendOrder order(
+      const SchedulerRuntimeInfo& info) const override;
+  [[nodiscard]] std::string describe_options() const override;
+};
+
+class EcefScheduler final : public SchedulerEntry {
+ public:
+  explicit EcefScheduler(Lookahead la, HeuristicOptions opts = {})
+      : SchedulerEntry(opts), la_(la) {}
+  using SchedulerEntry::order;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] SendOrder order(
+      const SchedulerRuntimeInfo& info) const override;
+  [[nodiscard]] std::string describe_options() const override;
+  [[nodiscard]] Lookahead lookahead() const noexcept { return la_; }
+
+ private:
+  Lookahead la_;
+};
+
+class BottomUpScheduler final : public SchedulerEntry {
+ public:
+  using SchedulerEntry::SchedulerEntry;
+  using SchedulerEntry::order;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "BottomUp";
+  }
+  [[nodiscard]] SendOrder order(
+      const SchedulerRuntimeInfo& info) const override;
+  [[nodiscard]] std::string describe_options() const override;
+};
+
+class SchedulerRegistry;
+
+/// Register every built-in entry (the paper's seven plus the two extra
+/// lookahead flavours) into `reg`.  Called once by `registry()`; exposed
+/// so tests can populate a private registry.
+void register_builtin_schedulers(SchedulerRegistry& reg);
+
+}  // namespace gridcast::sched

@@ -30,19 +30,6 @@ struct Sets {
 
 }  // namespace
 
-std::string_view to_string(HeuristicKind k) noexcept {
-  switch (k) {
-    case HeuristicKind::kFlatTree: return "FlatTree";
-    case HeuristicKind::kFef: return "FEF";
-    case HeuristicKind::kEcef: return "ECEF";
-    case HeuristicKind::kEcefLa: return "ECEF-LA";
-    case HeuristicKind::kEcefLaMin: return "ECEF-LAt";
-    case HeuristicKind::kEcefLaMax: return "ECEF-LAT";
-    case HeuristicKind::kBottomUp: return "BottomUp";
-  }
-  return "?";
-}
-
 SendOrder flat_tree_order(const Instance& inst) {
   SendOrder order;
   order.reserve(inst.clusters() - 1);

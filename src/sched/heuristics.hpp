@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string_view>
 
 #include "sched/instance.hpp"
 #include "sched/schedule.hpp"
@@ -17,6 +16,10 @@
 /// Selection decisions inside the ECEF family use the *same* timing state
 /// as the evaluator (`EvalState`), so a heuristic's internal cost estimates
 /// coincide exactly with the reported makespans.
+///
+/// These free functions are the selection kernels; the polymorphic
+/// `SchedulerEntry` wrappers in builtin_schedulers.hpp expose them through
+/// the registry, which is how consumers should reach them.
 namespace gridcast::sched {
 
 /// Lookahead flavours of the ECEF family.
@@ -70,19 +73,5 @@ enum class BottomUpPolicy : std::uint8_t {
 /// completion is worst.
 [[nodiscard]] SendOrder bottomup_order(
     const Instance& inst, BottomUpPolicy policy = BottomUpPolicy::kReadyTimeAware);
-
-/// Canonical identifiers for all implemented strategies.
-enum class HeuristicKind : std::uint8_t {
-  kFlatTree,
-  kFef,
-  kEcef,
-  kEcefLa,
-  kEcefLaMin,  ///< ECEF-LAt
-  kEcefLaMax,  ///< ECEF-LAT
-  kBottomUp,
-};
-
-/// Display name as used in the paper's figures.
-[[nodiscard]] std::string_view to_string(HeuristicKind k) noexcept;
 
 }  // namespace gridcast::sched

@@ -2,22 +2,27 @@
 
 namespace gridcast::sched {
 
-MixedStrategy::MixedStrategy(std::size_t threshold, HeuristicOptions opts)
-    : threshold_(threshold),
-      small_(HeuristicKind::kEcefLa, opts),
-      large_(HeuristicKind::kEcefLaMax, opts) {}
+MixedStrategy::MixedStrategy(std::size_t threshold, HeuristicOptions opts,
+                             std::string_view small_name,
+                             std::string_view large_name)
+    : SchedulerEntry(opts),
+      threshold_(threshold),
+      small_(registry().make(small_name, opts)),
+      large_(registry().make(large_name, opts)) {}
 
-HeuristicKind MixedStrategy::choice(std::size_t clusters) const noexcept {
-  return clusters <= threshold_ ? small_.kind() : large_.kind();
+SendOrder MixedStrategy::order(const SchedulerRuntimeInfo& info) const {
+  return delegate(info.clusters()).order(info);
 }
 
-SendOrder MixedStrategy::order(const Instance& inst) const {
-  return inst.clusters() <= threshold_ ? small_.order(inst)
-                                       : large_.order(inst);
+std::string MixedStrategy::describe_options() const {
+  return "small=" + std::string(small_->name()) +
+         " large=" + std::string(large_->name()) +
+         " threshold=" + std::to_string(threshold_);
 }
 
-Schedule MixedStrategy::run(const Instance& inst) const {
-  return inst.clusters() <= threshold_ ? small_.run(inst) : large_.run(inst);
+const SchedulerEntry& MixedStrategy::delegate(
+    std::size_t clusters) const noexcept {
+  return clusters <= threshold_ ? *small_ : *large_;
 }
 
 }  // namespace gridcast::sched

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 #include "sched/registry.hpp"
 
@@ -10,25 +11,45 @@
 /// stays constant while the former's decays.
 namespace gridcast::sched {
 
-class MixedStrategy {
+/// A composite `SchedulerEntry` that delegates to two registry entries by
+/// instance size.  Registered in the global registry as "Mixed", so the
+/// paper's deployment recommendation is itself selectable by name.
+class MixedStrategy final : public SchedulerEntry {
  public:
   /// `threshold`: cluster count at and below which the small-grid
   /// heuristic is used.  The paper suggests "reduced" ≈ today's grids
-  /// (~10 clusters, the GRID5000 scale of Fig. 1).
+  /// (~10 clusters, the GRID5000 scale of Fig. 1).  Delegates are
+  /// resolved through `registry()` by name, not hardcoded.
   explicit MixedStrategy(std::size_t threshold = 10,
-                         HeuristicOptions opts = {});
+                         HeuristicOptions opts = {},
+                         std::string_view small_name = "ECEF-LA",
+                         std::string_view large_name = "ECEF-LAT");
 
-  /// Which heuristic the strategy delegates to for this instance size.
-  [[nodiscard]] HeuristicKind choice(std::size_t clusters) const noexcept;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Mixed";
+  }
+  [[nodiscard]] SendOrder order(
+      const SchedulerRuntimeInfo& info) const override;
+  [[nodiscard]] std::string describe_options() const override;
 
-  [[nodiscard]] SendOrder order(const Instance& inst) const;
-  [[nodiscard]] Schedule run(const Instance& inst) const;
+  /// Which registered heuristic the strategy delegates to for this
+  /// instance size.
+  [[nodiscard]] const SchedulerEntry& delegate(
+      std::size_t clusters) const noexcept;
+
+  /// Name of the delegate for this instance size.
+  [[nodiscard]] std::string_view choice(std::size_t clusters) const noexcept {
+    return delegate(clusters).name();
+  }
+
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+  using SchedulerEntry::order;
 
  private:
   std::size_t threshold_;
-  Scheduler small_;
-  Scheduler large_;
+  SchedulerEntryPtr small_;
+  SchedulerEntryPtr large_;
 };
 
 }  // namespace gridcast::sched

@@ -1,53 +1,137 @@
 #include "sched/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
+
+#include "sched/builtin_schedulers.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::sched {
 
-Scheduler::Scheduler(HeuristicKind kind, HeuristicOptions opts)
-    : kind_(kind), opts_(opts) {}
+namespace {
 
-SendOrder Scheduler::order(const Instance& inst) const {
-  switch (kind_) {
-    case HeuristicKind::kFlatTree: return flat_tree_order(inst);
-    case HeuristicKind::kFef: return fef_order(inst, opts_.fef_weight);
-    case HeuristicKind::kEcef: return ecef_order(inst, Lookahead::kNone);
-    case HeuristicKind::kEcefLa: return ecef_order(inst, Lookahead::kMinEdge);
-    case HeuristicKind::kEcefLaMin:
-      return ecef_order(inst, Lookahead::kMinEdgePlusT);
-    case HeuristicKind::kEcefLaMax:
-      return ecef_order(inst, Lookahead::kMaxEdgePlusT);
-    case HeuristicKind::kBottomUp:
-      return bottomup_order(inst, opts_.bottomup);
+std::string fold(std::string_view name) {
+  std::string out(name);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+void SchedulerRegistry::add(std::string name, Factory factory,
+                            std::vector<std::string> aliases) {
+  if (name.empty()) throw InvalidInput("scheduler name must be non-empty");
+  if (!factory) throw InvalidInput("scheduler factory must be callable");
+  std::lock_guard lk(mu_);
+  // A new canonical name must not shadow an existing alias: find() tries
+  // the exact canonical match first, so accepting it would silently
+  // redirect every lookup of that alias.  (An alias equal to the fold of
+  // an existing canonical stays legal — exact-match-first keeps it
+  // unambiguous, and the "ecef-lat" → ECEF-LAT alias relies on it.)
+  if (factories_.contains(name) || aliases_.contains(fold(name)))
+    throw InvalidInput("scheduler '" + name + "' is already registered");
+  for (auto& a : aliases) {
+    a = fold(a);
+    if (aliases_.contains(a) || factories_.contains(a))
+      throw InvalidInput("scheduler alias '" + a + "' is already registered");
   }
-  GRIDCAST_ASSERT(false, "unknown heuristic kind");
-  return {};
+  for (auto& a : aliases) aliases_.emplace(std::move(a), name);
+  order_.push_back(name);
+  factories_.emplace(std::move(name), std::move(factory));
 }
 
-Schedule Scheduler::run(const Instance& inst) const {
-  const SendOrder o = order(inst);
-  return evaluate_order(inst, o, opts_.completion);
+const SchedulerRegistry::Factory* SchedulerRegistry::find(
+    std::string_view name) const {
+  if (const auto it = factories_.find(name); it != factories_.end())
+    return &it->second;
+  if (const auto al = aliases_.find(fold(name)); al != aliases_.end())
+    return &factories_.find(al->second)->second;
+  return nullptr;
 }
 
-Time Scheduler::makespan(const Instance& inst) const {
-  return run(inst).makespan;
+SchedulerEntryPtr SchedulerRegistry::make(std::string_view name,
+                                          HeuristicOptions opts) const {
+  // The factory is invoked *outside* the lock: composite entries (e.g.
+  // "Mixed") resolve their delegates through the registry from inside
+  // their factory, which would self-deadlock otherwise.
+  Factory factory;
+  std::string known;
+  {
+    std::lock_guard lk(mu_);
+    if (const Factory* f = find(name)) {
+      factory = *f;
+    } else {
+      for (const auto& n : order_) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+    }
+  }
+  if (factory) return factory(opts);
+  throw InvalidInput("unknown scheduler '" + std::string(name) +
+                     "' (registered: " + known + ")");
 }
+
+bool SchedulerRegistry::contains(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::lock_guard lk(mu_);
+  return order_;
+}
+
+std::vector<SchedulerEntryPtr> SchedulerRegistry::make_all(
+    HeuristicOptions opts) const {
+  std::vector<Factory> factories;
+  {
+    std::lock_guard lk(mu_);
+    factories.reserve(order_.size());
+    for (const auto& n : order_)
+      factories.push_back(factories_.find(n)->second);
+  }
+  std::vector<SchedulerEntryPtr> out;
+  out.reserve(factories.size());
+  for (const auto& f : factories) out.push_back(f(opts));
+  return out;
+}
+
+SchedulerRegistry& registry() {
+  static SchedulerRegistry* reg = [] {
+    auto* r = new SchedulerRegistry();
+    register_builtin_schedulers(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+Scheduler::Scheduler(SchedulerEntryPtr entry) : entry_(std::move(entry)) {
+  GRIDCAST_ASSERT(entry_ != nullptr, "Scheduler needs a non-null entry");
+}
+
+Scheduler::Scheduler(std::string_view name, HeuristicOptions opts)
+    : entry_(registry().make(name, opts)) {}
 
 std::vector<Scheduler> paper_heuristics(HeuristicOptions opts) {
-  return {Scheduler(HeuristicKind::kFlatTree, opts),
-          Scheduler(HeuristicKind::kFef, opts),
-          Scheduler(HeuristicKind::kEcef, opts),
-          Scheduler(HeuristicKind::kEcefLa, opts),
-          Scheduler(HeuristicKind::kEcefLaMin, opts),
-          Scheduler(HeuristicKind::kEcefLaMax, opts),
-          Scheduler(HeuristicKind::kBottomUp, opts)};
+  std::vector<Scheduler> out;
+  out.reserve(7);
+  for (const std::string_view name :
+       {"FlatTree", "FEF", "ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT",
+        "BottomUp"})
+    out.emplace_back(registry().make(name, opts));
+  return out;
 }
 
 std::vector<Scheduler> ecef_family(HeuristicOptions opts) {
-  return {Scheduler(HeuristicKind::kEcef, opts),
-          Scheduler(HeuristicKind::kEcefLa, opts),
-          Scheduler(HeuristicKind::kEcefLaMin, opts),
-          Scheduler(HeuristicKind::kEcefLaMax, opts)};
+  std::vector<Scheduler> out;
+  out.reserve(4);
+  for (const std::string_view name :
+       {"ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT"})
+    out.emplace_back(registry().make(name, opts));
+  return out;
 }
 
 }  // namespace gridcast::sched

@@ -1,48 +1,102 @@
 #pragma once
 
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
-#include "sched/evaluate.hpp"
-#include "sched/heuristics.hpp"
+#include "sched/scheduler_entry.hpp"
 
-/// Uniform driver around the heuristic zoo.
+/// The global scheduler registry: every heuristic the system knows is a
+/// named factory here, and every consumer — collectives, experiment
+/// harnesses, bench binaries — selects strategies by registry name string
+/// instead of switching on an enum.  Adding a heuristic is therefore one
+/// `SchedulerEntry` subclass plus one `add()` call; no consumer changes.
 namespace gridcast::sched {
 
-/// Tunable knobs shared by the ablation variants.
-struct HeuristicOptions {
-  FefWeight fef_weight = FefWeight::kLatencyOnly;
-  BottomUpPolicy bottomup = BottomUpPolicy::kReadyTimeAware;
-  /// How schedules are scored (selection is unaffected; see evaluate.hpp).
-  CompletionModel completion = CompletionModel::kEager;
+class SchedulerRegistry {
+ public:
+  /// Builds a `const` entry configured with the given options.
+  using Factory =
+      std::function<SchedulerEntryPtr(const HeuristicOptions&)>;
+
+  /// Register a factory under a canonical name (matched exactly) plus
+  /// optional aliases (matched case-insensitively).  Throws InvalidInput
+  /// when the name or any alias is already taken.
+  void add(std::string name, Factory factory,
+           std::vector<std::string> aliases = {});
+
+  /// Construct the entry registered under `name` (canonical or alias).
+  /// Throws InvalidInput for unknown names, listing what is available.
+  [[nodiscard]] SchedulerEntryPtr make(std::string_view name,
+                                       HeuristicOptions opts = {}) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Canonical names in registration order (the paper's figure order for
+  /// the built-ins).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Construct every registered entry, in registration order.
+  [[nodiscard]] std::vector<SchedulerEntryPtr> make_all(
+      HeuristicOptions opts = {}) const;
+
+ private:
+  [[nodiscard]] const Factory* find(std::string_view name) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> order_;                   ///< registration order
+  std::map<std::string, Factory, std::less<>> factories_;
+  std::map<std::string, std::string, std::less<>> aliases_;  ///< folded → canonical
 };
 
-/// One named, configured scheduling strategy.
+/// The process-wide registry, pre-populated with the paper's heuristics
+/// (builtin_schedulers.hpp).  Thread-safe; user code may `add()` its own
+/// entries at any time (see examples/custom_heuristic.cpp).
+[[nodiscard]] SchedulerRegistry& registry();
+
+/// Value-semantic handle over a shared registry entry — what consumer
+/// APIs traffic in, so strategy lists stay plain `std::vector<Scheduler>`.
 class Scheduler {
  public:
-  explicit Scheduler(HeuristicKind kind, HeuristicOptions opts = {});
+  /// Wrap an existing entry.
+  explicit Scheduler(SchedulerEntryPtr entry);
+  /// Look `name` up in the global registry (canonical or alias).
+  explicit Scheduler(std::string_view name, HeuristicOptions opts = {});
 
-  [[nodiscard]] HeuristicKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::string_view name() const noexcept {
-    return to_string(kind_);
+    return entry_->name();
   }
   [[nodiscard]] const HeuristicOptions& options() const noexcept {
-    return opts_;
+    return entry_->options();
+  }
+  [[nodiscard]] const SchedulerEntry& entry() const noexcept {
+    return *entry_;
   }
 
   /// Select the send order for the instance.
-  [[nodiscard]] SendOrder order(const Instance& inst) const;
+  [[nodiscard]] SendOrder order(const Instance& inst) const {
+    return entry_->order(inst);
+  }
+  [[nodiscard]] SendOrder order(const SchedulerRuntimeInfo& info) const {
+    return entry_->order(info);
+  }
 
   /// Select and time: the full pipeline.
-  [[nodiscard]] Schedule run(const Instance& inst) const;
+  [[nodiscard]] Schedule run(const Instance& inst) const {
+    return entry_->run(inst);
+  }
 
-  /// Shorthand when only the makespan matters (hot path of the
-  /// Monte-Carlo benches).
-  [[nodiscard]] Time makespan(const Instance& inst) const;
+  /// Shorthand when only the makespan matters.
+  [[nodiscard]] Time makespan(const Instance& inst) const {
+    return entry_->makespan(inst);
+  }
 
  private:
-  HeuristicKind kind_;
-  HeuristicOptions opts_;
+  SchedulerEntryPtr entry_;
 };
 
 /// The seven strategies in the order of the paper's figures:

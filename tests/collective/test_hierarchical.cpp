@@ -51,7 +51,7 @@ TEST(Hierarchical, DeliversEveryRank) {
   const topology::Grid grid = bare_grid();
   const Bytes m = KiB(256);
   const auto inst = sched::Instance::from_grid(grid, 0, m);
-  const auto order = sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+  const auto order = sched::Scheduler("ECEF-LA").order(inst);
   sim::Network net(grid, {}, 1);
   const auto r = run_hierarchical_bcast(net, 0, order, m);
   ASSERT_EQ(r.delivered.size(), grid.total_nodes());
@@ -65,7 +65,7 @@ TEST(Hierarchical, MessageCountIsRanksMinusOne) {
   const topology::Grid grid = bare_grid();
   const Bytes m = KiB(64);
   const auto inst = sched::Instance::from_grid(grid, 0, m);
-  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+  const auto order = sched::Scheduler("ECEF").order(inst);
   sim::Network net(grid, {}, 1);
   const auto r = run_hierarchical_bcast(net, 0, order, m);
   EXPECT_EQ(r.messages, grid.total_nodes() - 1);
@@ -75,7 +75,7 @@ TEST(Hierarchical, NonZeroRootCluster) {
   const topology::Grid grid = bare_grid();
   const Bytes m = KiB(64);
   const auto inst = sched::Instance::from_grid(grid, 2, m);
-  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+  const auto order = sched::Scheduler("ECEF").order(inst);
   sim::Network net(grid, {}, 1);
   const auto r = run_hierarchical_bcast(net, 2, order, m);
   const NodeId root_rank = grid.global_rank(2, 0);
@@ -88,7 +88,7 @@ TEST(Hierarchical, LocalFirstDelaysDownstreamClusters) {
   const topology::Grid grid = bare_grid();
   const Bytes m = MiB(1);
   const auto inst = sched::Instance::from_grid(grid, 0, m);
-  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+  const auto order = sched::Scheduler("ECEF").order(inst);
 
   sim::Network relay_net(grid, {}, 1);
   const auto relay =
@@ -109,7 +109,7 @@ TEST(Hierarchical, JitterChangesButApproximatesCleanRun) {
   const topology::Grid grid = bare_grid();
   const Bytes m = MiB(1);
   const auto inst = sched::Instance::from_grid(grid, 0, m);
-  const auto order = sched::Scheduler(sched::HeuristicKind::kEcef).order(inst);
+  const auto order = sched::Scheduler("ECEF").order(inst);
 
   sim::Network clean(grid, {}, 1);
   const Time base = run_hierarchical_bcast(clean, 0, order, m).completion;
@@ -136,7 +136,7 @@ TEST(GridUnawareBinomial, CoversAllRanksAndLosesToGridAware) {
 
   const auto inst = sched::Instance::from_grid(grid, 0, m);
   const auto order =
-      sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+      sched::Scheduler("ECEF-LA").order(inst);
   sim::Network aware_net(grid, {}, 1);
   const auto aware = run_hierarchical_bcast(aware_net, 0, order, m);
   // The rank-ordered binomial crosses the WAN repeatedly; the scheduled

@@ -113,7 +113,7 @@ TEST(Multilevel, ScheduledHeuristicStillWins) {
 
   const auto inst = sched::Instance::from_grid(grid, 0, m);
   const auto order =
-      sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+      sched::Scheduler("ECEF-LA").order(inst);
   sim::Network b(grid, {}, 1);
   const Time scheduled =
       run_hierarchical_bcast(b, 0, order, m).completion;

@@ -46,7 +46,7 @@ TEST(Race, EveryIterationHasAtLeastOneHit) {
 TEST(Race, SingleCompetitorAlwaysHits) {
   ThreadPool pool(0);
   const std::vector<sched::Scheduler> solo{
-      sched::Scheduler(sched::HeuristicKind::kEcef)};
+      sched::Scheduler("ECEF")};
   const RaceResult r = run_race(solo, small_config(), pool);
   EXPECT_EQ(r.hits[0], r.iterations);
   EXPECT_DOUBLE_EQ(r.hit_rate(0), 1.0);

@@ -57,7 +57,7 @@ TEST(Sweep, MeasuredTracksPredictedWithoutJitter) {
   sched::HeuristicOptions opts;
   opts.completion = sched::CompletionModel::kAfterLastSend;
   const std::vector<sched::Scheduler> comps{
-      sched::Scheduler(sched::HeuristicKind::kEcefLa, opts)};
+      sched::Scheduler("ECEF-LA", opts)};
   const std::vector<Bytes> sizes{MiB(1), MiB(4)};
   const SweepResult pred = predicted_sweep(grid, 0, comps, sizes);
   const SweepResult meas = measured_sweep(grid, 0, comps, sizes, {}, 1);
@@ -69,6 +69,23 @@ TEST(Sweep, MeasuredTracksPredictedWithoutJitter) {
     EXPECT_NEAR(m, p, p * 0.25) << "size " << sizes[i];
     EXPECT_GE(m, p - 1e-9);  // overheads only ever slow execution down
   }
+}
+
+TEST(Sweep, ThreadedSweepMatchesInline) {
+  // Sweeps dispatch across the pool; any worker count must produce
+  // exactly the inline result.
+  const auto grid = topology::grid5000_testbed();
+  const auto comps = sched::ecef_family();
+  const std::vector<Bytes> sizes{KiB(512), MiB(1), MiB(2)};
+  ThreadPool pool(3);
+  const SweepResult pi = predicted_sweep(grid, 0, comps, sizes);
+  const SweepResult pt = predicted_sweep(grid, 0, comps, sizes, pool);
+  const SweepResult mi = measured_sweep(grid, 0, comps, sizes, {0.05}, 9);
+  const SweepResult mt = measured_sweep(grid, 0, comps, sizes, {0.05}, 9, pool);
+  for (std::size_t s = 0; s < pi.series.size(); ++s)
+    EXPECT_EQ(pi.series[s].completion, pt.series[s].completion);
+  for (std::size_t s = 0; s < mi.series.size(); ++s)
+    EXPECT_EQ(mi.series[s].completion, mt.series[s].completion);
 }
 
 TEST(Sweep, EmptyInputsRejected) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "clustering/lowekamp.hpp"
 #include "clustering/node_matrix.hpp"
 #include "collective/bcast.hpp"
@@ -40,13 +42,14 @@ TEST(EndToEnd, FourMegabyteBroadcastMagnitudes) {
   const Bytes m = MiB(4);
   const auto inst = sched::Instance::from_grid(grid, 0, m);
 
-  const auto run = [&](sched::HeuristicKind k) {
-    const auto order = sched::Scheduler(k).order(inst);
+  const auto run = [&](std::string_view name) {
+    // Straight from the registry entry to a simulated execution.
+    const auto entry = sched::registry().make(name);
     sim::Network net(grid, {}, 1);
-    return collective::run_hierarchical_bcast(net, 0, order, m).completion;
+    return collective::run_hierarchical_bcast(net, 0, *entry, m).completion;
   };
-  const Time ecef_la = run(sched::HeuristicKind::kEcefLa);
-  const Time flat = run(sched::HeuristicKind::kFlatTree);
+  const Time ecef_la = run("ECEF-LA");
+  const Time flat = run("FlatTree");
 
   sim::Network lam_net(grid, {}, 1);
   const Time lam =
@@ -123,7 +126,7 @@ TEST(EndToEnd, MeasurementPipelineFeedsScheduling) {
   grid.validate();
 
   const auto inst = sched::Instance::from_grid(grid, 0, MiB(1));
-  const auto s = sched::Scheduler(sched::HeuristicKind::kEcefLa).run(inst);
+  const auto s = sched::Scheduler("ECEF-LA").run(inst);
   EXPECT_EQ(describe_invalid(s, 2), "");
   // Fitted WAN transfer must dominate the schedule (~0.5 s for 1 MiB at
   // 2 MB/s plus latency).

@@ -76,7 +76,7 @@ TEST_P(ModelVsSim, PerClusterFinishTimesAgree) {
   const topology::Grid grid = random_bare_grid(seed, clusters);
   const auto inst = sched::Instance::from_grid(grid, 0, message);
   const auto order =
-      sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+      sched::Scheduler("ECEF-LA").order(inst);
   const sched::Schedule pred = sched::evaluate_order(
       inst, order, sched::CompletionModel::kAfterLastSend);
 

@@ -50,7 +50,7 @@ TEST_P(RandomStress, SimulatedBroadcastDeliversExactlyOnce) {
   const Bytes m = static_cast<Bytes>(rng.between(1, 2 << 20));
   const auto inst = sched::Instance::from_grid(grid, 0, m);
   const auto order =
-      sched::Scheduler(sched::HeuristicKind::kEcefLa).order(inst);
+      sched::Scheduler("ECEF-LA").order(inst);
 
   sim::Network net(grid, {0.05}, GetParam());
   const auto r = collective::run_hierarchical_bcast(net, 0, order, m);

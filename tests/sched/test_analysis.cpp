@@ -57,7 +57,7 @@ TEST(Analysis, RootCanBeBottleneck) {
 
 TEST(Analysis, UtilisationBetweenZeroAndOne) {
   const Instance inst = uniform(6, 0.2, 0.01, {0.1, 0.2, 0.3, 0.1, 0.2, 0.3});
-  const Schedule s = Scheduler(HeuristicKind::kEcefLa).run(inst);
+  const Schedule s = Scheduler("ECEF-LA").run(inst);
   const ScheduleAnalysis a = analyze(inst, s);
   EXPECT_GT(a.mean_sender_utilisation, 0.0);
   EXPECT_LE(a.mean_sender_utilisation, 1.0);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "sched/evaluate.hpp"
+#include "sched/registry.hpp"
 
 namespace gridcast::sched {
 namespace {
@@ -155,14 +158,11 @@ TEST(Heuristics, AllProduceValidSchedulesOnUniformInstance) {
   }
 }
 
-TEST(Heuristics, ToStringNames) {
-  EXPECT_EQ(to_string(HeuristicKind::kFlatTree), "FlatTree");
-  EXPECT_EQ(to_string(HeuristicKind::kFef), "FEF");
-  EXPECT_EQ(to_string(HeuristicKind::kEcef), "ECEF");
-  EXPECT_EQ(to_string(HeuristicKind::kEcefLa), "ECEF-LA");
-  EXPECT_EQ(to_string(HeuristicKind::kEcefLaMin), "ECEF-LAt");
-  EXPECT_EQ(to_string(HeuristicKind::kEcefLaMax), "ECEF-LAT");
-  EXPECT_EQ(to_string(HeuristicKind::kBottomUp), "BottomUp");
+TEST(Heuristics, RegistryEntriesCarryPaperFigureNames) {
+  for (const std::string_view name :
+       {"FlatTree", "FEF", "ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT",
+        "BottomUp"})
+    EXPECT_EQ(registry().make(name)->name(), name);
 }
 
 }  // namespace

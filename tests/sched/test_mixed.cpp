@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/param_ranges.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace gridcast::sched {
@@ -10,16 +11,32 @@ namespace {
 
 TEST(Mixed, ChoiceFollowsThreshold) {
   const MixedStrategy m(10);
-  EXPECT_EQ(m.choice(2), HeuristicKind::kEcefLa);
-  EXPECT_EQ(m.choice(10), HeuristicKind::kEcefLa);
-  EXPECT_EQ(m.choice(11), HeuristicKind::kEcefLaMax);
-  EXPECT_EQ(m.choice(50), HeuristicKind::kEcefLaMax);
+  EXPECT_EQ(m.choice(2), "ECEF-LA");
+  EXPECT_EQ(m.choice(10), "ECEF-LA");
+  EXPECT_EQ(m.choice(11), "ECEF-LAT");
+  EXPECT_EQ(m.choice(50), "ECEF-LAT");
 }
 
 TEST(Mixed, ThresholdIsConfigurable) {
   const MixedStrategy m(3);
   EXPECT_EQ(m.threshold(), 3u);
-  EXPECT_EQ(m.choice(4), HeuristicKind::kEcefLaMax);
+  EXPECT_EQ(m.choice(4), "ECEF-LAT");
+}
+
+TEST(Mixed, DelegatesAreConfigurableByRegistryName) {
+  const MixedStrategy m(10, {}, "FlatTree", "BottomUp");
+  EXPECT_EQ(m.choice(4), "FlatTree");
+  EXPECT_EQ(m.choice(40), "BottomUp");
+}
+
+TEST(Mixed, UnknownDelegateNameRejected) {
+  EXPECT_THROW(MixedStrategy(10, {}, "NoSuchHeuristic", "ECEF-LAT"),
+               InvalidInput);
+}
+
+TEST(Mixed, IsRegisteredByName) {
+  const auto entry = registry().make("Mixed");
+  EXPECT_EQ(entry->name(), "Mixed");
 }
 
 TEST(Mixed, DelegatesToUnderlyingHeuristic) {
@@ -31,9 +48,8 @@ TEST(Mixed, DelegatesToUnderlyingHeuristic) {
       exp::sample_instance(exp::ParamRanges::paper(), 20, rng_large);
 
   const MixedStrategy m(10);
-  EXPECT_EQ(m.order(small), Scheduler(HeuristicKind::kEcefLa).order(small));
-  EXPECT_EQ(m.order(large),
-            Scheduler(HeuristicKind::kEcefLaMax).order(large));
+  EXPECT_EQ(m.order(small), Scheduler("ECEF-LA").order(small));
+  EXPECT_EQ(m.order(large), Scheduler("ECEF-LAT").order(large));
 }
 
 TEST(Mixed, RunProducesValidSchedule) {

@@ -91,7 +91,7 @@ TEST_P(HeuristicProperties, EcefPicksGreedyMinimumEachRound) {
   // achievable arrival among all (sender in A, receiver in B) pairs at
   // that moment.  Replay the schedule and verify each choice.
   const Instance inst = make_instance();
-  const SendOrder order = Scheduler(HeuristicKind::kEcef).order(inst);
+  const SendOrder order = Scheduler("ECEF").order(inst);
   EvalState st(inst);
   std::vector<bool> in_a(inst.clusters(), false);
   in_a[inst.root()] = true;

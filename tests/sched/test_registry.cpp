@@ -1,0 +1,132 @@
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "exp/param_ranges.hpp"
+#include "sched/builtin_schedulers.hpp"
+#include "sched/evaluate.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gridcast::sched {
+namespace {
+
+constexpr std::string_view kPaperNames[] = {
+    "FlatTree", "FEF",      "ECEF",    "ECEF-LA",
+    "ECEF-LAt", "ECEF-LAT", "BottomUp"};
+
+TEST(Registry, RoundTripsAllSevenPaperHeuristics) {
+  for (const auto name : kPaperNames) {
+    ASSERT_TRUE(registry().contains(name)) << name;
+    const SchedulerEntryPtr entry = registry().make(name);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->name(), name);
+  }
+}
+
+TEST(Registry, AliasesResolveCaseInsensitively) {
+  EXPECT_EQ(registry().make("ecef-lat")->name(), "ECEF-LAT");
+  EXPECT_EQ(registry().make("ECEF-LAT")->name(), "ECEF-LAT");
+  EXPECT_EQ(registry().make("ECEF-LAt")->name(), "ECEF-LAt");
+  EXPECT_EQ(registry().make("ecef-la-min")->name(), "ECEF-LAt");
+  EXPECT_EQ(registry().make("Flat-Tree")->name(), "FlatTree");
+  EXPECT_EQ(registry().make("bottom-up")->name(), "BottomUp");
+}
+
+TEST(Registry, UnknownNameThrowsListingAvailable) {
+  try {
+    (void)registry().make("NoSuchHeuristic");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NoSuchHeuristic"), std::string::npos);
+    EXPECT_NE(what.find("ECEF-LAT"), std::string::npos);  // lists choices
+  }
+}
+
+TEST(Registry, DuplicateRegistrationRejected) {
+  SchedulerRegistry reg;
+  register_builtin_schedulers(reg);
+  const auto factory = [](const HeuristicOptions& o) {
+    return std::make_shared<const FlatTreeScheduler>(o);
+  };
+  EXPECT_THROW(reg.add("FlatTree", factory), InvalidInput);
+  // A canonical name may not shadow an existing alias (exact canonical
+  // match wins in lookups, so this would hijack make("mixed")).
+  EXPECT_THROW(reg.add("mixed", factory), InvalidInput);
+  // Alias collisions are rejected against aliases and canonical names.
+  EXPECT_THROW(reg.add("Fresh", factory, {"ecef-lat"}), InvalidInput);
+  EXPECT_THROW(reg.add("Fresh", factory, {"FEF"}), InvalidInput);
+  EXPECT_THROW(reg.add("Fresh", factory, {"bottomup"}), InvalidInput);
+  // A genuinely new name is accepted.
+  reg.add("Fresh", factory, {"fresh-alias"});
+  EXPECT_EQ(reg.make("fresh-alias")->name(), "FlatTree");
+}
+
+TEST(Registry, NamesPreserveRegistrationOrder) {
+  const auto names = registry().names();
+  ASSERT_GE(names.size(), 7u);
+  // The paper's figure order leads the built-in registration.
+  EXPECT_EQ(names[0], "FlatTree");
+  EXPECT_EQ(names[1], "FEF");
+  EXPECT_EQ(names[2], "ECEF");
+  EXPECT_EQ(names[6], "ECEF-AvgEdge");
+}
+
+TEST(Registry, OptionsReachTheEntry) {
+  HeuristicOptions opts;
+  opts.fef_weight = FefWeight::kGapPlusLatency;
+  const auto entry = registry().make("FEF", opts);
+  EXPECT_EQ(entry->options().fef_weight, FefWeight::kGapPlusLatency);
+  EXPECT_EQ(entry->describe_options(), "weight=gap+latency");
+}
+
+TEST(Registry, PaperHelpersAreRegistryBacked) {
+  const auto paper = paper_heuristics();
+  ASSERT_EQ(paper.size(), 7u);
+  for (std::size_t i = 0; i < paper.size(); ++i)
+    EXPECT_EQ(paper[i].name(), kPaperNames[i]);
+  const auto family = ecef_family();
+  ASSERT_EQ(family.size(), 4u);
+  EXPECT_EQ(family[0].name(), "ECEF");
+  EXPECT_EQ(family[3].name(), "ECEF-LAT");
+}
+
+// Property: every registered entry emits a causal SendOrder that
+// evaluate_order accepts, on random Table 2 instances of varied size.
+TEST(Registry, EveryEntryEmitsCausalOrdersOnRandomInstances) {
+  const auto entries = registry().make_all();
+  for (std::uint64_t it = 0; it < 40; ++it) {
+    Rng rng = Rng::stream(11, it);
+    const std::size_t clusters = 2 + static_cast<std::size_t>(it % 12);
+    const Instance inst =
+        exp::sample_instance(exp::ParamRanges::paper(), clusters, rng);
+    const SchedulerRuntimeInfo info(inst);
+    for (const auto& entry : entries) {
+      ASSERT_TRUE(entry->can_schedule(info))
+          << entry->name() << " at " << clusters;
+      const SendOrder order = entry->order(info);
+      ASSERT_EQ(order.size(), clusters - 1) << entry->name();
+      const Schedule s = evaluate_order(inst, order);  // throws if acausal
+      EXPECT_EQ(describe_invalid(s, inst.clusters()), "") << entry->name();
+    }
+  }
+}
+
+TEST(RuntimeInfo, CachesInstanceAggregates) {
+  Rng rng = Rng::stream(5, 3);
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), 8, rng);
+  const SchedulerRuntimeInfo info(inst, MiB(1),
+                                  CompletionModel::kAfterLastSend);
+  EXPECT_EQ(info.clusters(), 8u);
+  EXPECT_EQ(info.message_size(), MiB(1));
+  EXPECT_EQ(info.completion(), CompletionModel::kAfterLastSend);
+  EXPECT_DOUBLE_EQ(info.max_internal(), inst.max_T());
+  EXPECT_DOUBLE_EQ(info.lower_bound(), inst.lower_bound());
+}
+
+}  // namespace
+}  // namespace gridcast::sched
