@@ -1,6 +1,7 @@
 // Figure 5: model-predicted completion time of a broadcast on the
-// 88-machine GRID5000 testbed (Table 3), message sizes up to 4.25 MiB,
-// all seven heuristics.
+// 88-machine GRID5000 testbed (Table 3), message sizes up to 4 MiB,
+// all seven heuristics.  Delegates to the registry-driven race engine
+// (exp::run_race_sweep) — the same code path as `tools/gridcast_race`.
 //
 // Expected shape (paper): ECEF family < BottomUp < FlatTree at every
 // size; ECEF family stays under ~3 s at 4 MB while FlatTree is several
@@ -8,7 +9,7 @@
 // (DESIGN.md substitution table).
 
 #include "common.hpp"
-#include "exp/sweep.hpp"
+#include "exp/race_cli.hpp"
 #include "topology/grid5000.hpp"
 
 int main() {
@@ -17,23 +18,26 @@ int main() {
   benchx::print_banner(
       "Figure 5", "predicted broadcast time on the Table 3 testbed (s)", opt);
 
-  const topology::Grid grid = topology::grid5000_testbed();
+  exp::RaceSpec spec;
+  for (const auto& c : sched::paper_heuristics())
+    spec.sched_names.emplace_back(c.name());
   // Prediction must mirror the executor's semantics: coordinators
   // serialize relays and the local tree on one NIC (after-last-send).
-  sched::HeuristicOptions opts;
-  opts.completion = sched::CompletionModel::kAfterLastSend;
-  const auto comps = sched::paper_heuristics(opts);
-  const auto sizes = exp::default_size_ladder();
+  spec.completion = sched::CompletionModel::kAfterLastSend;
+
+  const topology::Grid grid = topology::grid5000_testbed();
+  exp::InstanceCache cache(grid);
   ThreadPool pool(opt.threads);
-  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes, pool);
+  const io::BenchReport r =
+      exp::run_race_sweep(cache, "grid5000_testbed", spec, pool);
 
   std::vector<std::string> header{"bytes"};
-  for (const auto& s : sweep.series) header.push_back(s.name);
+  for (const auto& s : r.series) header.push_back(s.name);
   Table t(std::move(header));
-  for (std::size_t i = 0; i < sweep.sizes.size(); ++i) {
+  for (std::size_t i = 0; i < r.sizes.size(); ++i) {
     std::vector<double> row;
-    for (const auto& s : sweep.series) row.push_back(s.completion[i]);
-    t.add_row(std::to_string(sweep.sizes[i]), row, 3);
+    for (const auto& s : r.series) row.push_back(s.makespan_s[i]);
+    t.add_row(std::to_string(r.sizes[i]), row, 3);
   }
   benchx::emit(t, opt);
   return 0;

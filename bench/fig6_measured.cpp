@@ -3,13 +3,15 @@
 // grid (DESIGN.md substitution table): every point-to-point message of the
 // two-level broadcast is executed, including receive overheads and
 // optional per-message jitter, plus the grid-unaware binomial tree the
-// paper labels "Default LAM".
+// paper labels "Default LAM".  Delegates to the registry-driven race
+// engine (exp::run_race_sweep) — the same code path as `tools/gridcast_race
+// --mode=measured`.
 //
 // Expected shape (paper): measured tracks predicted (Fig. 5); ECEF family
 // best, DefaultLAM in between, FlatTree worst by several times.
 
 #include "common.hpp"
-#include "exp/sweep.hpp"
+#include "exp/race_cli.hpp"
 #include "topology/grid5000.hpp"
 
 int main() {
@@ -23,20 +25,26 @@ int main() {
       "jitter=" + std::to_string(jitter),
       opt);
 
+  exp::RaceSpec spec;
+  for (const auto& c : sched::paper_heuristics())
+    spec.sched_names.emplace_back(c.name());
+  spec.mode = exp::RaceMode::kMeasured;
+  spec.jitter = jitter;
+  spec.seed = opt.seed;
+
   const topology::Grid grid = topology::grid5000_testbed();
-  const auto comps = sched::paper_heuristics();
-  const auto sizes = exp::default_size_ladder();
+  exp::InstanceCache cache(grid);
   ThreadPool pool(opt.threads);
-  const auto sweep =
-      exp::measured_sweep(grid, 0, comps, sizes, {jitter}, opt.seed, pool);
+  const io::BenchReport r =
+      exp::run_race_sweep(cache, "grid5000_testbed", spec, pool);
 
   std::vector<std::string> header{"bytes"};
-  for (const auto& s : sweep.series) header.push_back(s.name);
+  for (const auto& s : r.series) header.push_back(s.name);
   Table t(std::move(header));
-  for (std::size_t i = 0; i < sweep.sizes.size(); ++i) {
+  for (std::size_t i = 0; i < r.sizes.size(); ++i) {
     std::vector<double> row;
-    for (const auto& s : sweep.series) row.push_back(s.completion[i]);
-    t.add_row(std::to_string(sweep.sizes[i]), row, 3);
+    for (const auto& s : r.series) row.push_back(s.makespan_s[i]);
+    t.add_row(std::to_string(r.sizes[i]), row, 3);
   }
   benchx::emit(t, opt);
   return 0;

@@ -2,72 +2,32 @@
 // predicted makespan over the Fig. 5 size ladder on the Table 3 testbed,
 // plus the wall-clock cost of computing those schedules (the paper's
 // Section 7 "algorithm complexity" concern).  Output is JSON so CI can
-// track the trajectory run over run.
+// track the trajectory run over run and gate it against
+// BENCH_baseline.json (`gridcast_race --check`).
+//
+// This binary is a thin delegate of the registry-driven race engine — the
+// same code path as `tools/gridcast_race`, which supersedes it for
+// interactive use (name selection, measured mode, sharding, merging).
 //
 // Usage: bench_sweep_json [output-path]   (default: BENCH_sweep.json)
 
-#include <chrono>
-#include <fstream>
 #include <iostream>
 
-#include "exp/sweep.hpp"
-#include "sched/registry.hpp"
+#include "exp/race_cli.hpp"
 #include "support/options.hpp"
-#include "support/thread_pool.hpp"
-#include "topology/grid5000.hpp"
 
 int main(int argc, char** argv) {
   using namespace gridcast;
-  using clock = std::chrono::steady_clock;
 
   const std::string path = argc > 1 ? argv[1] : "BENCH_sweep.json";
   const BenchOptions opt = BenchOptions::from_env(1);
 
-  const topology::Grid grid = topology::grid5000_testbed();
-  const auto sizes = exp::default_size_ladder();
+  exp::RaceCli cli;
+  cli.spec.wall = true;  // every registry entry races, with scheduling cost
+  cli.threads = opt.threads;
+  cli.out_path = path;
 
-  // Every registry entry races, not just the paper's seven — a new
-  // heuristic shows up here the moment it is registered.
-  std::vector<sched::Scheduler> comps;
-  for (const auto& name : sched::registry().names())
-    comps.emplace_back(name);
-
-  ThreadPool pool(opt.threads);
-  const auto sweep = exp::predicted_sweep(grid, 0, comps, sizes, pool);
-
-  // Wall time per heuristic: schedule every size once, single-threaded,
-  // so the number is comparable run over run.  Instances are derived
-  // outside the timed region — this measures scheduling cost only.
-  std::vector<sched::Instance> insts;
-  insts.reserve(sizes.size());
-  for (const Bytes m : sizes)
-    insts.push_back(sched::Instance::from_grid(grid, 0, m));
-  std::vector<double> wall(comps.size(), 0.0);
-  for (std::size_t s = 0; s < comps.size(); ++s) {
-    const auto t0 = clock::now();
-    for (const auto& inst : insts) (void)comps[s].makespan(inst);
-    wall[s] = std::chrono::duration<double>(clock::now() - t0).count();
-  }
-
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot open " << path << " for writing\n";
-    return 1;
-  }
-  out << "{\n  \"bench\": \"sweep\",\n  \"grid\": \"grid5000_testbed\",\n";
-  out << "  \"threads\": " << opt.threads << ",\n  \"sizes\": [";
-  for (std::size_t i = 0; i < sweep.sizes.size(); ++i)
-    out << (i ? ", " : "") << sweep.sizes[i];
-  out << "],\n  \"series\": [\n";
-  for (std::size_t s = 0; s < sweep.series.size(); ++s) {
-    out << "    {\"name\": \"" << sweep.series[s].name
-        << "\", \"wall_time_s\": " << wall[s] << ", \"makespan_s\": [";
-    for (std::size_t i = 0; i < sweep.series[s].completion.size(); ++i)
-      out << (i ? ", " : "") << sweep.series[s].completion[i];
-    out << "]}" << (s + 1 < sweep.series.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << " (" << sweep.series.size()
-            << " series x " << sweep.sizes.size() << " sizes)\n";
-  return 0;
+  const int rc = exp::run_race_cli(cli, std::cout, std::cerr);
+  if (rc == 0) std::cout << "wrote " << path << "\n";
+  return rc;
 }

@@ -225,10 +225,20 @@ BcastResult run_hierarchical_bcast(sim::Network& net, ClusterId root_cluster,
                                    IntraOrder intra_order) {
   const sched::Instance inst =
       sched::Instance::from_grid(net.grid(), root_cluster, m);
-  const sched::SchedulerRuntimeInfo info(inst, m);
+  return run_hierarchical_bcast(net, sched, sched::SchedulerRuntimeInfo(inst, m),
+                                intra_order);
+}
+
+BcastResult run_hierarchical_bcast(sim::Network& net,
+                                   const sched::SchedulerEntry& sched,
+                                   const sched::SchedulerRuntimeInfo& info,
+                                   IntraOrder intra_order) {
+  GRIDCAST_ASSERT(info.message_size() > 0,
+                  "runtime info must carry the message size");
   GRIDCAST_ASSERT(sched.can_schedule(info),
                   "scheduler cannot handle this instance");
-  return run_hierarchical_bcast(net, root_cluster, sched.order(info), m,
+  return run_hierarchical_bcast(net, info.instance().root(),
+                                sched.order(info), info.message_size(),
                                 intra_order);
 }
 

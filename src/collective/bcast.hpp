@@ -74,6 +74,15 @@ enum class IntraOrder : std::uint8_t {
     const sched::SchedulerEntry& sched, Bytes m,
     IntraOrder intra_order = IntraOrder::kRelayFirst);
 
+/// As above, but with a caller-supplied runtime info (root cluster and
+/// message size come from it).  Sweep harnesses derive one instance per
+/// message size through `exp::InstanceCache` and race every competitor
+/// over it, instead of paying the O(clusters²) derivation per cell.
+[[nodiscard]] BcastResult run_hierarchical_bcast(
+    sim::Network& net, const sched::SchedulerEntry& sched,
+    const sched::SchedulerRuntimeInfo& info,
+    IntraOrder intra_order = IntraOrder::kRelayFirst);
+
 /// The "Default LAM" comparator of Fig. 6: a grid-unaware binomial tree
 /// over all ranks in global rank order, rooted at `root_cluster`'s
 /// coordinator.

@@ -1,0 +1,40 @@
+#include "exp/instance_cache.hpp"
+
+namespace gridcast::exp {
+
+const sched::Instance& InstanceCache::get(ClusterId root, Bytes m) {
+  const std::pair<ClusterId, Bytes> key{root, m};
+  {
+    std::lock_guard lk(mu_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      return *it->second;
+    }
+  }
+  // Derive outside the lock: distinct keys must not serialise behind one
+  // O(clusters²) derivation (the threaded sweeps request many sizes at
+  // once).
+  auto derived = std::make_shared<const sched::Instance>(
+      sched::Instance::from_grid(*grid_, root, m));
+  std::lock_guard lk(mu_);
+  ++misses_;
+  // emplace keeps the first insertion on a lost race.
+  return *cache_.emplace(key, std::move(derived)).first->second;
+}
+
+std::size_t InstanceCache::entries() const {
+  std::lock_guard lk(mu_);
+  return cache_.size();
+}
+
+std::uint64_t InstanceCache::hits() const {
+  std::lock_guard lk(mu_);
+  return hits_;
+}
+
+std::uint64_t InstanceCache::misses() const {
+  std::lock_guard lk(mu_);
+  return misses_;
+}
+
+}  // namespace gridcast::exp

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "sched/instance.hpp"
+#include "topology/grid.hpp"
+
+/// Memoised `Instance::from_grid` derivations for one grid.
+///
+/// Deriving an instance costs O(clusters²) gap-function evaluations, and
+/// sweep harnesses used to pay it once per (size, series) *cell* — the
+/// measured sweep re-derived the identical instance for every competitor
+/// of a size.  The cache keys on (root, size); the grid is fixed per cache
+/// (grids are the expensive measured artefact and have no cheap identity).
+namespace gridcast::exp {
+
+class InstanceCache {
+ public:
+  explicit InstanceCache(const topology::Grid& grid) : grid_(&grid) {}
+  /// The cache only references the grid; a temporary would dangle.
+  explicit InstanceCache(topology::Grid&&) = delete;
+
+  InstanceCache(const InstanceCache&) = delete;
+  InstanceCache& operator=(const InstanceCache&) = delete;
+
+  [[nodiscard]] const topology::Grid& grid() const noexcept { return *grid_; }
+
+  /// The instance the grid poses for an m-byte broadcast rooted at `root`,
+  /// derived on first use.  Thread-safe; the reference stays valid for the
+  /// cache's lifetime.  Concurrent first requests for the same key may
+  /// derive twice (derivation runs outside the lock so distinct keys never
+  /// serialise); the first insertion wins and derivation is deterministic,
+  /// so all callers see identical values.
+  [[nodiscard]] const sched::Instance& get(ClusterId root, Bytes m);
+
+  /// Distinct (root, size) keys currently held.
+  [[nodiscard]] std::size_t entries() const;
+
+  /// Lookups that found an existing entry / had to derive one.
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  const topology::Grid* grid_;
+  mutable std::mutex mu_;
+  std::map<std::pair<ClusterId, Bytes>,
+           std::shared_ptr<const sched::Instance>>
+      cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gridcast::exp

@@ -1,0 +1,500 @@
+#include "exp/race_cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <string_view>
+
+#include "io/grid_io.hpp"
+#include "support/error.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridcast::exp {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw InvalidInput(std::string(what) + ": '" + token +
+                       "' is not a non-negative integer");
+  return v;
+}
+
+double parse_double(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty())
+    throw InvalidInput(std::string(what) + ": '" + token +
+                       "' is not a number");
+  return v;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+const char* mode_name(RaceMode m) {
+  return m == RaceMode::kPredicted ? "predicted" : "measured";
+}
+
+}  // namespace
+
+Bytes parse_size(const std::string& token) {
+  std::size_t suffix = 0;
+  while (suffix < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[suffix])) ||
+          token[suffix] == '.'))
+    ++suffix;
+  const std::string num = token.substr(0, suffix);
+  const std::string unit = lower(token.substr(suffix));
+  if (num.empty())
+    throw InvalidInput("size '" + token + "' has no numeric part");
+  const double v = parse_double(num, "size");
+  double scale = 1.0;
+  if (unit == "k" || unit == "kib")
+    scale = 1024.0;
+  else if (unit == "m" || unit == "mib")
+    scale = 1048576.0;
+  else if (!unit.empty())
+    throw InvalidInput("size '" + token +
+                       "': unknown unit '" + unit + "' (use K/KiB/M/MiB)");
+  const double bytes = v * scale;
+  // >= 1 (not > 0): a sub-byte size like "0.5" would truncate to 0 and
+  // only die much later on a message-size assertion.  The upper bound
+  // keeps the cast to Bytes defined.
+  if (!(bytes >= 1.0))
+    throw InvalidInput("size '" + token + "' must be at least one byte");
+  if (bytes > 9.0e18)
+    throw InvalidInput("size '" + token + "' is out of range");
+  return static_cast<Bytes>(bytes);
+}
+
+std::vector<sched::Scheduler> resolve_competitors(
+    const std::vector<std::string>& names, sched::HeuristicOptions opts) {
+  std::vector<sched::Scheduler> out;
+  out.reserve(names.size());
+  for (const auto& name : names)
+    out.emplace_back(name, opts);  // throws, listing registered names
+  // Duplicate series would make merge coverage and the baseline gate
+  // ambiguous; reject them by canonical name so `ecef-lat,ECEF-LAT` is
+  // caught too.
+  std::set<std::string_view> seen;
+  for (const auto& c : out)
+    if (!seen.insert(c.name()).second)
+      throw InvalidInput("scheduler '" + std::string(c.name()) +
+                         "' selected more than once");
+  return out;
+}
+
+io::BenchReport run_race_sweep(InstanceCache& cache,
+                               const std::string& grid_name,
+                               const RaceSpec& spec, ThreadPool& pool) {
+  using clock = std::chrono::steady_clock;
+
+  if (spec.sched_names.empty())
+    throw InvalidInput("no schedulers selected (use --sched=a,b,c or all)");
+  if (spec.wall && spec.shard.shards > 1)
+    throw InvalidInput(
+        "--wall requires an unsharded run (wall time is machine-local and "
+        "would break shard-merge byte-identity)");
+  spec.shard.validate();
+
+  sched::HeuristicOptions opts;
+  opts.completion = spec.completion;
+  const std::vector<sched::Scheduler> comps =
+      resolve_competitors(spec.sched_names, opts);
+  const std::vector<Bytes> sizes =
+      spec.sizes.empty() ? default_size_ladder() : spec.sizes;
+
+  const SweepResult sweep =
+      spec.mode == RaceMode::kPredicted
+          ? predicted_sweep(cache, spec.root, comps, sizes, pool, spec.shard)
+          : measured_sweep(cache, spec.root, comps, sizes, {spec.jitter},
+                           spec.seed, pool, spec.shard);
+
+  io::BenchReport r;
+  r.bench = "race";
+  r.grid = grid_name;
+  r.mode = mode_name(spec.mode);
+  r.root = spec.root;
+  r.seed = spec.seed;
+  r.jitter = spec.jitter;
+  r.shards = spec.shard.shards;
+  r.shard = spec.shard.shard;
+  r.sizes = sweep.sizes;
+  r.series.reserve(sweep.series.size());
+  for (const auto& s : sweep.series)
+    r.series.push_back({s.name, kNaN, s.completion});
+
+  if (spec.wall) {
+    // Scheduling cost only (the paper's Section 7 complexity concern):
+    // instances come pre-derived from the cache, the loop runs
+    // single-threaded, and we keep the *minimum* of several passes — the
+    // standard robust estimator — so the number is comparable run over
+    // run and across CI machines.
+    constexpr int kWallPasses = 10;
+    for (const Bytes m : sizes) (void)cache.get(spec.root, m);
+    // In measured mode row 0 is DefaultLAM, which schedules nothing.
+    const std::size_t off = spec.mode == RaceMode::kMeasured ? 1 : 0;
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int pass = -1; pass < kWallPasses; ++pass) {  // -1 = warmup
+        const auto t0 = clock::now();
+        for (const Bytes m : sizes)
+          (void)comps[c].makespan(cache.get(spec.root, m));
+        const double dt =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        if (pass >= 0) best = std::min(best, dt);
+      }
+      r.series[c + off].wall_time_s = best;
+    }
+  }
+  return r;
+}
+
+io::BenchReport merge_race_shards(const std::vector<io::BenchReport>& shards) {
+  if (shards.empty()) throw InvalidInput("merge: no shard reports given");
+  const io::BenchReport& ref = shards.front();
+  const std::size_t n = ref.shards;
+  if (shards.size() != n)
+    throw InvalidInput("merge: report declares " + std::to_string(n) +
+                       " shards but " + std::to_string(shards.size()) +
+                       " files were given");
+
+  std::set<std::size_t> indices;
+  for (const auto& s : shards) {
+    if (s.bench != ref.bench || s.grid != ref.grid || s.mode != ref.mode ||
+        s.root != ref.root || s.sizes != ref.sizes)
+      throw InvalidInput("merge: shard " + std::to_string(s.shard) +
+                         " metadata does not match shard " +
+                         std::to_string(ref.shard));
+    if (s.mode == "measured" && (s.seed != ref.seed || s.jitter != ref.jitter))
+      throw InvalidInput("merge: shard " + std::to_string(s.shard) +
+                         " seed/jitter does not match");
+    if (s.shards != n)
+      throw InvalidInput("merge: shard " + std::to_string(s.shard) +
+                         " declares a different shard count");
+    if (!indices.insert(s.shard).second)
+      throw InvalidInput("merge: shard " + std::to_string(s.shard) +
+                         " appears twice");
+    if (s.series.size() != ref.series.size())
+      throw InvalidInput("merge: shard " + std::to_string(s.shard) +
+                         " has a different series count");
+    for (std::size_t i = 0; i < s.series.size(); ++i)
+      if (s.series[i].name != ref.series[i].name)
+        throw InvalidInput("merge: shard " + std::to_string(s.shard) +
+                           " series order/name mismatch at index " +
+                           std::to_string(i));
+  }
+
+  io::BenchReport out = ref;
+  out.shards = 1;
+  out.shard = 0;
+  const std::size_t n_series = ref.series.size();
+  for (std::size_t i = 0; i < ref.sizes.size(); ++i) {
+    for (std::size_t s = 0; s < n_series; ++s) {
+      const std::size_t cell = i * n_series + s;
+      const std::size_t owner = cell % n;
+      double value = kNaN;
+      for (const auto& shard : shards) {
+        const double v = shard.series[s].makespan_s[i];
+        if (shard.shard == owner) {
+          value = v;
+        } else if (!std::isnan(v)) {
+          throw InvalidInput(
+              "merge: cell (size " + std::to_string(ref.sizes[i]) +
+              ", series '" + ref.series[s].name + "') computed by shard " +
+              std::to_string(shard.shard) + " but owned by shard " +
+              std::to_string(owner));
+        }
+      }
+      if (std::isnan(value))
+        throw InvalidInput("merge: cell (size " +
+                           std::to_string(ref.sizes[i]) + ", series '" +
+                           ref.series[s].name + "') was never computed");
+      out.series[s].makespan_s[i] = value;
+    }
+  }
+  // Sharded runs never time scheduling (wall is machine-local); only a
+  // trivial single-shard merge can carry it through.
+  if (n > 1)
+    for (auto& s : out.series) s.wall_time_s = kNaN;
+  return out;
+}
+
+RaceCli parse_race_cli(const std::vector<std::string>& args) {
+  RaceCli cli;
+  std::vector<std::string> positionals;
+  bool shards_seen = false;
+  std::size_t shard_pair_count = 0;  // from a --shard=k/N form
+
+  const auto value_of = [](const std::string& arg) {
+    const std::size_t eq = arg.find('=');
+    // Without this check a bare `--out` would wrap to substr(0) and
+    // silently use the flag name itself as the value.
+    if (eq == std::string::npos)
+      throw InvalidInput("option '" + arg + "' needs a value: " + arg +
+                         "=...");
+    return arg.substr(eq + 1);
+  };
+
+  for (const auto& arg : args) {
+    const std::string key = arg.substr(0, arg.find('='));
+    if (arg == "--merge") {
+      cli.action = RaceCli::Action::kMerge;
+    } else if (arg == "--wall") {
+      cli.spec.wall = true;
+    } else if (key == "--check") {
+      cli.action = RaceCli::Action::kCheck;
+      cli.check_path = value_of(arg);
+    } else if (key == "--baseline") {
+      cli.baseline_path = value_of(arg);
+    } else if (key == "--rtol") {
+      cli.tolerances.makespan_rtol = parse_double(value_of(arg), "--rtol");
+    } else if (key == "--wall-tol") {
+      cli.tolerances.wall_factor = parse_double(value_of(arg), "--wall-tol");
+    } else if (key == "--sched") {
+      const std::string v = value_of(arg);
+      if (lower(v) == "all") {
+        cli.spec.sched_names.clear();  // empty = every registered entry
+      } else {
+        for (auto& name : split_csv(v)) {
+          if (name.empty())
+            throw InvalidInput("--sched: empty name in list '" + v + "'");
+          cli.spec.sched_names.push_back(std::move(name));
+        }
+      }
+    } else if (key == "--sizes") {
+      const std::string v = value_of(arg);
+      if (lower(v) == "default") {
+        cli.spec.sizes.clear();
+      } else {
+        for (const auto& tok : split_csv(v))
+          cli.spec.sizes.push_back(parse_size(tok));
+      }
+    } else if (key == "--grid") {
+      cli.grid_arg = value_of(arg);
+    } else if (key == "--root") {
+      cli.spec.root =
+          static_cast<ClusterId>(parse_u64(value_of(arg), "--root"));
+    } else if (key == "--mode") {
+      const std::string v = lower(value_of(arg));
+      if (v == "predicted")
+        cli.spec.mode = RaceMode::kPredicted;
+      else if (v == "measured")
+        cli.spec.mode = RaceMode::kMeasured;
+      else
+        throw InvalidInput("--mode must be 'predicted' or 'measured', got '" +
+                           value_of(arg) + "'");
+    } else if (key == "--completion") {
+      const std::string v = lower(value_of(arg));
+      if (v == "eager")
+        cli.spec.completion = sched::CompletionModel::kEager;
+      else if (v == "after-last-send")
+        cli.spec.completion = sched::CompletionModel::kAfterLastSend;
+      else
+        throw InvalidInput(
+            "--completion must be 'eager' or 'after-last-send', got '" +
+            value_of(arg) + "'");
+    } else if (key == "--jitter") {
+      cli.spec.jitter = parse_double(value_of(arg), "--jitter");
+      if (cli.spec.jitter < 0)
+        throw InvalidInput("--jitter must be >= 0");
+    } else if (key == "--seed") {
+      cli.spec.seed = parse_u64(value_of(arg), "--seed");
+    } else if (key == "--threads") {
+      cli.threads =
+          static_cast<std::size_t>(parse_u64(value_of(arg), "--threads"));
+    } else if (key == "--shards") {
+      cli.spec.shard.shards =
+          static_cast<std::size_t>(parse_u64(value_of(arg), "--shards"));
+      shards_seen = true;
+    } else if (key == "--shard") {
+      const std::string v = value_of(arg);
+      // Accept `k` or the self-describing `k/N` form.
+      if (const auto slash = v.find('/'); slash != std::string::npos) {
+        cli.spec.shard.shard = static_cast<std::size_t>(
+            parse_u64(v.substr(0, slash), "--shard"));
+        shard_pair_count = static_cast<std::size_t>(
+            parse_u64(v.substr(slash + 1), "--shard"));
+        // 0 is the "no k/N form seen" sentinel below; reject it here
+        // instead of silently degrading to an unsharded run.
+        if (shard_pair_count == 0)
+          throw InvalidInput("--shard=k/N: shard count N must be >= 1");
+      } else {
+        cli.spec.shard.shard =
+            static_cast<std::size_t>(parse_u64(v, "--shard"));
+      }
+    } else if (key == "--out") {
+      cli.out_path = value_of(arg);
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      throw InvalidInput("unknown option '" + arg + "'\n" + race_cli_usage());
+    } else {
+      positionals.push_back(arg);
+    }
+  }
+
+  if (shard_pair_count != 0) {
+    if (shards_seen && cli.spec.shard.shards != shard_pair_count)
+      throw InvalidInput("--shard=k/N disagrees with --shards");
+    cli.spec.shard.shards = shard_pair_count;
+  }
+
+  switch (cli.action) {
+    case RaceCli::Action::kMerge:
+      if (positionals.size() < 2)
+        throw InvalidInput(
+            "--merge needs an output path and at least one shard file: "
+            "--merge out.json a.json b.json ...");
+      cli.out_path = positionals.front();
+      cli.merge_inputs.assign(positionals.begin() + 1, positionals.end());
+      break;
+    case RaceCli::Action::kCheck:
+      if (cli.baseline_path.empty())
+        throw InvalidInput("--check needs --baseline=<baseline.json>");
+      if (!positionals.empty())
+        throw InvalidInput("unexpected argument '" + positionals.front() +
+                           "'");
+      break;
+    case RaceCli::Action::kRun:
+      if (!positionals.empty())
+        throw InvalidInput("unexpected argument '" + positionals.front() +
+                           "'\n" + race_cli_usage());
+      cli.spec.shard.validate();
+      if (cli.spec.wall && cli.spec.shard.shards > 1)
+        throw InvalidInput("--wall cannot be combined with --shards");
+      break;
+  }
+  return cli;
+}
+
+namespace {
+
+topology::Grid load_grid(const std::string& grid_arg,
+                         std::string& grid_name) {
+  if (lower(grid_arg) == "grid5000") {
+    grid_name = "grid5000_testbed";
+    return topology::grid5000_testbed();
+  }
+  std::ifstream in(grid_arg);
+  if (!in)
+    throw InvalidInput("cannot open grid file '" + grid_arg +
+                       "' (use --grid=grid5000 for the built-in testbed)");
+  grid_name = grid_arg;
+  return io::read_grid(in);
+}
+
+io::BenchReport read_report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidInput("cannot open '" + path + "'");
+  return io::read_bench_json(in);
+}
+
+void write_report(const io::BenchReport& r, const std::string& path,
+                  std::ostream& fallback) {
+  if (path.empty()) {
+    io::write_bench_json(fallback, r);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw InvalidInput("cannot open '" + path + "' for writing");
+  io::write_bench_json(out, r);
+}
+
+}  // namespace
+
+int run_race_cli(const RaceCli& cli, std::ostream& out, std::ostream& err) {
+  switch (cli.action) {
+    case RaceCli::Action::kRun: {
+      std::string grid_name;
+      const topology::Grid grid = load_grid(cli.grid_arg, grid_name);
+      RaceSpec spec = cli.spec;
+      if (spec.sched_names.empty())
+        spec.sched_names = sched::registry().names();
+      InstanceCache cache(grid);
+      ThreadPool pool(cli.threads);
+      const io::BenchReport report =
+          run_race_sweep(cache, grid_name, spec, pool);
+      write_report(report, cli.out_path, out);
+      err << "raced " << report.series.size() << " series x "
+          << report.sizes.size() << " sizes (" << report.mode << ", shard "
+          << report.shard << "/" << report.shards << ", "
+          << cache.misses() << " instances derived)";
+      if (!cli.out_path.empty()) err << " -> " << cli.out_path;
+      err << "\n";
+      return 0;
+    }
+    case RaceCli::Action::kMerge: {
+      std::vector<io::BenchReport> shards;
+      shards.reserve(cli.merge_inputs.size());
+      for (const auto& path : cli.merge_inputs)
+        shards.push_back(read_report_file(path));
+      const io::BenchReport merged = merge_race_shards(shards);
+      write_report(merged, cli.out_path, out);
+      err << "merged " << shards.size() << " shards -> " << cli.out_path
+          << "\n";
+      return 0;
+    }
+    case RaceCli::Action::kCheck: {
+      const io::BenchReport baseline = read_report_file(cli.baseline_path);
+      const io::BenchReport current = read_report_file(cli.check_path);
+      const std::vector<std::string> problems =
+          io::compare_bench(baseline, current, cli.tolerances);
+      for (const auto& p : problems) err << "REGRESSION: " << p << "\n";
+      if (problems.empty()) {
+        err << "baseline gate OK: " << current.series.size() << " series x "
+            << current.sizes.size() << " sizes within tolerance of "
+            << cli.baseline_path << "\n";
+        return 0;
+      }
+      err << problems.size() << " regression(s) against " << cli.baseline_path
+          << "\n";
+      return 1;
+    }
+  }
+  return 2;  // unreachable
+}
+
+std::string race_cli_usage() {
+  return
+      "usage:\n"
+      "  gridcast_race [--sched=a,b,c|all] [--mode=predicted|measured]\n"
+      "                [--grid=grid5000|<file>] [--root=N]\n"
+      "                [--sizes=default|256K,1M,...] [--completion=eager|"
+      "after-last-send]\n"
+      "                [--jitter=F] [--seed=N] [--threads=N] [--wall]\n"
+      "                [--shards=N --shard=k | --shard=k/N] [--out=FILE]\n"
+      "  gridcast_race --merge out.json shard0.json shard1.json ...\n"
+      "  gridcast_race --check=current.json --baseline=baseline.json\n"
+      "                [--rtol=1e-6] [--wall-tol=10]\n";
+}
+
+}  // namespace gridcast::exp

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/instance_cache.hpp"
+#include "exp/sweep.hpp"
+#include "io/bench_json.hpp"
+#include "sched/registry.hpp"
+#include "support/thread_pool.hpp"
+
+/// The registry-driven race harness behind the `gridcast_race` CLI.
+///
+/// One engine replaces the per-figure bench binaries' duplicated sweep
+/// logic: any list of registered scheduler names races over a message-size
+/// ladder on any grid, predicted (pLogP model) or measured (discrete-event
+/// simulator), optionally sharded across processes.  Everything lives in
+/// the library — the tool is a thin `main` — so argument parsing, shard
+/// partitioning, merging and the baseline gate are unit-testable.
+namespace gridcast::exp {
+
+enum class RaceMode : std::uint8_t { kPredicted, kMeasured };
+
+/// What to race.  `sched_names` are registry names (canonical or alias);
+/// empty `sizes` means `default_size_ladder()`.
+struct RaceSpec {
+  std::vector<std::string> sched_names;
+  std::vector<Bytes> sizes;
+  ClusterId root = 0;
+  RaceMode mode = RaceMode::kPredicted;
+  sched::CompletionModel completion = sched::CompletionModel::kEager;
+  double jitter = 0.05;     ///< measured mode only
+  std::uint64_t seed = 1;   ///< measured mode only
+  ShardSpec shard = {};
+  /// Also time each heuristic's scheduling cost (wall_time_s, the paper's
+  /// Section 7 complexity concern).  Unsharded runs only: wall time is
+  /// machine-dependent and would break shard-merge byte-identity.
+  bool wall = false;
+};
+
+/// Resolve registry names into Scheduler handles; an unknown name throws
+/// InvalidInput listing every registered scheduler.
+[[nodiscard]] std::vector<sched::Scheduler> resolve_competitors(
+    const std::vector<std::string>& names, sched::HeuristicOptions opts);
+
+/// Race `spec` over the cache's grid.  Only cells owned by `spec.shard`
+/// are computed (the rest serialise as null); `grid_name` is recorded in
+/// the report so merges and baseline comparisons can refuse mismatched
+/// inputs.
+[[nodiscard]] io::BenchReport run_race_sweep(InstanceCache& cache,
+                                             const std::string& grid_name,
+                                             const RaceSpec& spec,
+                                             ThreadPool& pool);
+
+/// Recombine one report per shard (any order) into the report an
+/// unsharded run would have produced — byte-identical once serialised.
+/// Throws InvalidInput on mismatched metadata, duplicate/missing shards,
+/// or cells covered by zero or multiple shards.
+[[nodiscard]] io::BenchReport merge_race_shards(
+    const std::vector<io::BenchReport>& shards);
+
+/// One parsed `gridcast_race` invocation.
+struct RaceCli {
+  enum class Action : std::uint8_t { kRun, kMerge, kCheck };
+  Action action = Action::kRun;
+
+  // kRun
+  RaceSpec spec;
+  std::string grid_arg = "grid5000";  ///< "grid5000" or a grid-file path
+  std::size_t threads = 0;            ///< 0 = inline
+  std::string out_path;               ///< empty = stdout
+
+  // kMerge: out_path then inputs, as in `--merge out.json a.json b.json`
+  std::vector<std::string> merge_inputs;
+
+  // kCheck
+  std::string check_path;
+  std::string baseline_path;
+  io::BenchCompareOptions tolerances;
+};
+
+/// Parse argv (without the program name).  Throws InvalidInput on unknown
+/// flags, malformed values, or inconsistent combinations (e.g. `--wall`
+/// with `--shards`); the message is ready for stderr.
+[[nodiscard]] RaceCli parse_race_cli(const std::vector<std::string>& args);
+
+/// Parse a size token: plain bytes ("262144") or a K/KiB/M/MiB-suffixed
+/// decimal ("256K", "4.25MiB", case-insensitive).
+[[nodiscard]] Bytes parse_size(const std::string& token);
+
+/// Execute a parsed invocation end to end (grid loading, racing, merging,
+/// or the baseline gate).  Reports go to `out_path` or `out`; diagnostics
+/// go to `err`.  Returns the process exit code (non-zero when the check
+/// action finds regressions).
+int run_race_cli(const RaceCli& cli, std::ostream& out, std::ostream& err);
+
+/// CLI usage text.
+[[nodiscard]] std::string race_cli_usage();
+
+}  // namespace gridcast::exp

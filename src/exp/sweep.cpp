@@ -1,49 +1,97 @@
 #include "exp/sweep.hpp"
 
+#include <limits>
+
 #include "collective/bcast.hpp"
 #include "sched/evaluate.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::exp {
 
+namespace {
+
+constexpr double kUnowned = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+void ShardSpec::validate() const {
+  if (shards == 0)
+    throw InvalidInput("shard spec: shards must be >= 1");
+  if (shard >= shards)
+    throw InvalidInput("shard spec: shard index " + std::to_string(shard) +
+                       " out of range for " + std::to_string(shards) +
+                       " shards");
+}
+
 std::vector<Bytes> default_size_ladder() {
+  // The paper's Fig. 5/6 x-axis stops at 4 MiB; an off-by-one endpoint
+  // (4.25 MiB) used to emit a 17th point past the figure.
   std::vector<Bytes> sizes;
-  for (Bytes m = KiB(256); m <= MiB(4.25); m += KiB(256)) sizes.push_back(m);
+  for (Bytes m = KiB(256); m <= MiB(4); m += KiB(256)) sizes.push_back(m);
   return sizes;
+}
+
+std::uint64_t measured_cell_seed(std::uint64_t seed, std::size_t size_index,
+                                 std::string_view series_name) {
+  // FNV-1a over the series name: stable across platforms, insensitive to
+  // the series' position in the competitor list.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : series_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // SplitMix64 finalizer over (seed, size index, name hash) for dispersion.
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(size_index) + 1) + h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SweepResult predicted_sweep(InstanceCache& cache, ClusterId root,
+                            const std::vector<sched::Scheduler>& comps,
+                            std::span<const Bytes> sizes, ThreadPool& pool,
+                            ShardSpec shard) {
+  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
+  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
+  shard.validate();
+
+  const std::size_t n_series = comps.size();
+  SweepResult out;
+  out.sizes.assign(sizes.begin(), sizes.end());
+  out.series.resize(n_series);
+  for (std::size_t s = 0; s < n_series; ++s) {
+    out.series[s].name = comps[s].name();
+    out.series[s].completion.assign(sizes.size(), kUnowned);
+  }
+
+  // One task per (size, series) cell; the O(clusters^2) instance
+  // derivation happens once per size in the cache.  Cells are written by
+  // index, so any worker count produces the same result, and foreign
+  // shards' cells stay NaN.
+  pool.parallel_for(
+      sizes.size() * n_series, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t cell = lo; cell < hi; ++cell) {
+          if (!shard.owns(cell)) continue;
+          const std::size_t i = cell / n_series;
+          const std::size_t s = cell % n_series;
+          const sched::Instance& inst = cache.get(root, sizes[i]);
+          const sched::SchedulerRuntimeInfo info(
+              inst, sizes[i], comps[s].options().completion);
+          out.series[s].completion[i] =
+              sched::evaluate_order(inst, comps[s].order(info),
+                                    info.completion())
+                  .makespan;
+        }
+      });
+  return out;
 }
 
 SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
                             const std::vector<sched::Scheduler>& comps,
                             std::span<const Bytes> sizes, ThreadPool& pool) {
-  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
-  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
-
-  SweepResult out;
-  out.sizes.assign(sizes.begin(), sizes.end());
-  out.series.resize(comps.size());
-  for (std::size_t s = 0; s < comps.size(); ++s) {
-    out.series[s].name = comps[s].name();
-    out.series[s].completion.assign(sizes.size(), 0.0);
-  }
-
-  // One task per message size: the instance derivation (O(clusters^2)) is
-  // shared by all competitors of that size.  Cells are written by index,
-  // so any worker count produces the same result.
-  pool.parallel_for(sizes.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const sched::Instance inst =
-          sched::Instance::from_grid(grid, root, sizes[i]);
-      for (std::size_t s = 0; s < comps.size(); ++s) {
-        const sched::SchedulerRuntimeInfo info(inst, sizes[i],
-                                               comps[s].options().completion);
-        out.series[s].completion[i] =
-            sched::evaluate_order(inst, comps[s].order(info),
-                                  info.completion())
-                .makespan;
-      }
-    }
-  });
-  return out;
+  InstanceCache cache(grid);
+  return predicted_sweep(cache, root, comps, sizes, pool);
 }
 
 SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
@@ -53,14 +101,16 @@ SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
   return predicted_sweep(grid, root, comps, sizes, inline_pool);
 }
 
-SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,
+SweepResult measured_sweep(InstanceCache& cache, ClusterId root,
                            const std::vector<sched::Scheduler>& comps,
                            std::span<const Bytes> sizes,
                            sim::JitterConfig jitter, std::uint64_t seed,
-                           ThreadPool& pool) {
+                           ThreadPool& pool, ShardSpec shard) {
   GRIDCAST_ASSERT(!comps.empty(), "no competitors");
   GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
+  shard.validate();
 
+  const topology::Grid& grid = cache.grid();
   const std::size_t n_series = comps.size() + 1;
   SweepResult out;
   out.sizes.assign(sizes.begin(), sizes.end());
@@ -68,30 +118,45 @@ SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,
   out.series[0].name = "DefaultLAM";
   for (std::size_t s = 0; s < comps.size(); ++s)
     out.series[s + 1].name = comps[s].name();
-  for (auto& series : out.series) series.completion.assign(sizes.size(), 0.0);
+  for (auto& series : out.series)
+    series.completion.assign(sizes.size(), kUnowned);
 
   // One task per (size, series) cell; each simulates on its own Network
-  // whose seed is derived from the cell index, never from scheduling
-  // order, so results are bit-identical for any worker count.
+  // whose seed is derived from (size index, series name) — never from
+  // scheduling order, the competitor count, or the worker count — so a
+  // series' results are invariant under competitor-set growth.
   pool.parallel_for(
       sizes.size() * n_series, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t cell = lo; cell < hi; ++cell) {
+          if (!shard.owns(cell)) continue;
           const std::size_t i = cell / n_series;
           const std::size_t s = cell % n_series;
           const Bytes m = sizes[i];
-          sim::Network net(grid, jitter, seed + cell);
+          sim::Network net(
+              grid, jitter,
+              measured_cell_seed(seed, i, out.series[s].name));
           if (s == 0) {
             out.series[0].completion[i] =
                 collective::run_grid_unaware_binomial(net, root, m).completion;
           } else {
+            const sched::SchedulerRuntimeInfo info(cache.get(root, m), m);
             out.series[s].completion[i] =
-                collective::run_hierarchical_bcast(
-                    net, root, comps[s - 1].entry(), m)
+                collective::run_hierarchical_bcast(net, comps[s - 1].entry(),
+                                                   info)
                     .completion;
           }
         }
       });
   return out;
+}
+
+SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,
+                           const std::vector<sched::Scheduler>& comps,
+                           std::span<const Bytes> sizes,
+                           sim::JitterConfig jitter, std::uint64_t seed,
+                           ThreadPool& pool) {
+  InstanceCache cache(grid);
+  return measured_sweep(cache, root, comps, sizes, jitter, seed, pool);
 }
 
 SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "exp/instance_cache.hpp"
 #include "sched/registry.hpp"
 #include "sim/network.hpp"
 #include "support/thread_pool.hpp"
@@ -29,12 +32,43 @@ struct SweepResult {
   std::vector<SweepSeries> series;
 };
 
-/// The paper's Fig. 5/6 x-axis: 256 KiB steps from 256 KiB to 4.25 MiB.
+/// Process-level partition of the (size × series) cell grid.  Cell
+/// (size i, series s) belongs to shard `(i * n_series + s) % shards`, so
+/// any shard count covers every cell exactly once and `gridcast_race
+/// --merge` can recombine shard outputs bit-identically.  Cells owned by
+/// other shards are left NaN.
+struct ShardSpec {
+  std::size_t shards = 1;
+  std::size_t shard = 0;
+
+  [[nodiscard]] bool owns(std::size_t cell) const noexcept {
+    return cell % shards == shard;
+  }
+  /// Throws InvalidInput unless 0 <= shard < shards.
+  void validate() const;
+};
+
+/// The paper's Fig. 5/6 x-axis: 256 KiB steps from 256 KiB to 4 MiB
+/// (16 points).
 [[nodiscard]] std::vector<Bytes> default_size_ladder();
 
-/// Model-predicted completion per size and scheduler (Fig. 5).  Sizes are
+/// Deterministic simulation seed for one measured-sweep cell, mixed from
+/// the sweep seed, the *size index* and the *series name* (FNV-1a) — never
+/// from the competitor count, so adding a competitor cannot reseed the
+/// series that were already there.
+[[nodiscard]] std::uint64_t measured_cell_seed(std::uint64_t seed,
+                                               std::size_t size_index,
+                                               std::string_view series_name);
+
+/// Model-predicted completion per size and scheduler (Fig. 5).  Cells are
 /// dispatched across `pool` (results are identical for any worker count);
-/// the overload without a pool runs inline.
+/// instances are derived once per size through `cache`.  The overloads
+/// without a cache build a private one; the overload without a pool runs
+/// inline.
+[[nodiscard]] SweepResult predicted_sweep(
+    InstanceCache& cache, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
+    ThreadPool& pool, ShardSpec shard = {});
 [[nodiscard]] SweepResult predicted_sweep(
     const topology::Grid& grid, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
@@ -46,8 +80,13 @@ struct SweepResult {
 /// Simulator-measured completion per size and scheduler, plus the
 /// "DefaultLAM" grid-unaware binomial series (Fig. 6).  `jitter` perturbs
 /// per-message gap/latency; `seed` drives it.  Every (size, series) cell
-/// simulates on its own Network seeded by its cell index, so the result is
-/// identical for any worker count.
+/// simulates on its own Network seeded by `measured_cell_seed`, so the
+/// result is identical for any worker count *and* any competitor set.
+[[nodiscard]] SweepResult measured_sweep(
+    InstanceCache& cache, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
+    sim::JitterConfig jitter, std::uint64_t seed, ThreadPool& pool,
+    ShardSpec shard = {});
 [[nodiscard]] SweepResult measured_sweep(
     const topology::Grid& grid, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,

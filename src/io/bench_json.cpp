@@ -1,0 +1,489 @@
+#include "io/bench_json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <variant>
+
+#include "support/error.hpp"
+
+namespace gridcast::io {
+
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+/// Print a double exactly as the writer always has: 17 significant digits
+/// via ostream.  Parsing then re-printing the same value reproduces the
+/// bytes, which is what makes shard merging byte-identical.  The caller's
+/// precision is restored — reports also go to long-lived streams (stdout).
+void put_double(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "null";
+    return;
+  }
+  const auto saved = os.precision(17);
+  os << v;
+  os.precision(saved);
+}
+
+// ---------------------------------------------------------------- parsing
+//
+// A minimal recursive-descent JSON reader covering the grammar
+// write_bench_json emits (objects, arrays, strings, numbers, null,
+// booleans).  Strict: trailing garbage, unknown report keys and type
+// mismatches all throw InvalidInput with position context.
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// A parsed number keeps its source token so 64-bit integers (seeds) can
+/// be re-parsed losslessly — a double only holds 53 mantissa bits.  JSON
+/// null is a number with NaN value and an empty token.
+struct JsonNumber {
+  double value = 0.0;
+  std::string raw;
+};
+
+struct JsonValue {
+  std::variant<JsonNumber, bool, std::string, JsonArray, JsonObject> v;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidInput("bench JSON: " + what + " at offset " +
+                       std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return JsonValue{object()};
+      case '[':
+        return JsonValue{array()};
+      case '"':
+        return JsonValue{string()};
+      case 't':
+        if (consume_literal("true")) return JsonValue{true};
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue{false};
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null"))
+          return JsonValue{
+              JsonNumber{std::numeric_limits<double>::quiet_NaN(), ""}};
+        fail("bad literal");
+      default:
+        return JsonValue{number()};
+    }
+  }
+
+  JsonObject object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  JsonArray array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The writer only \u-escapes control characters (< 0x20); accept
+          // any BMP code point and re-encode as UTF-8 for completeness.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonNumber number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number '" + tok + "'");
+    return JsonNumber{v, std::move(tok)};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// Typed accessors over the parsed tree.
+
+const JsonValue* find(const JsonObject& o, std::string_view key) {
+  for (const auto& [k, v] : o)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+template <typename T>
+const T& as(const JsonValue& v, const char* what) {
+  const T* p = std::get_if<T>(&v.v);
+  if (!p) throw InvalidInput(std::string("bench JSON: '") + what +
+                             "' has the wrong type");
+  return *p;
+}
+
+double as_number(const JsonValue& v, const char* what) {
+  return as<JsonNumber>(v, what).value;
+}
+
+std::uint64_t as_u64(const JsonValue& v, const char* what) {
+  // Re-parse the source token: going through the double would silently
+  // round integers above 2^53 (e.g. full-width RNG seeds).
+  const std::string& raw = as<JsonNumber>(v, what).raw;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), out);
+  if (ec != std::errc{} || ptr != raw.data() + raw.size())
+    throw InvalidInput(std::string("bench JSON: '") + what +
+                       "' is not a non-negative 64-bit integer");
+  return out;
+}
+
+const JsonValue& require(const JsonObject& o, std::string_view key) {
+  if (const JsonValue* v = find(o, key)) return *v;
+  throw InvalidInput("bench JSON: missing key '" + std::string(key) + "'");
+}
+
+}  // namespace
+
+const BenchSeries* BenchReport::find_series(std::string_view name) const {
+  for (const auto& s : series)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_bench_json(std::ostream& os, const BenchReport& r) {
+  os << "{\n";
+  os << "  \"bench\": \"" << json_escape(r.bench) << "\",\n";
+  os << "  \"grid\": \"" << json_escape(r.grid) << "\",\n";
+  os << "  \"mode\": \"" << json_escape(r.mode) << "\",\n";
+  os << "  \"root\": " << r.root << ",\n";
+  if (r.mode == "measured") {
+    os << "  \"seed\": " << r.seed << ",\n";
+    os << "  \"jitter\": ";
+    put_double(os, r.jitter);
+    os << ",\n";
+  }
+  if (r.shards > 1) {
+    os << "  \"shards\": " << r.shards << ",\n";
+    os << "  \"shard\": " << r.shard << ",\n";
+  }
+  os << "  \"sizes\": [";
+  for (std::size_t i = 0; i < r.sizes.size(); ++i)
+    os << (i ? ", " : "") << r.sizes[i];
+  os << "],\n  \"series\": [\n";
+  for (std::size_t s = 0; s < r.series.size(); ++s) {
+    os << "    {\"name\": \"" << json_escape(r.series[s].name) << "\"";
+    if (!std::isnan(r.series[s].wall_time_s)) {
+      os << ", \"wall_time_s\": ";
+      put_double(os, r.series[s].wall_time_s);
+    }
+    os << ", \"makespan_s\": [";
+    for (std::size_t i = 0; i < r.series[s].makespan_s.size(); ++i) {
+      os << (i ? ", " : "");
+      put_double(os, r.series[s].makespan_s[i]);
+    }
+    os << "]}" << (s + 1 < r.series.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string bench_to_json(const BenchReport& r) {
+  std::ostringstream os;
+  write_bench_json(os, r);
+  return os.str();
+}
+
+BenchReport bench_from_json(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  const JsonObject& o = as<JsonObject>(root, "report");
+
+  BenchReport r;
+  for (const auto& [key, value] : o) {
+    if (key == "bench") {
+      r.bench = as<std::string>(value, "bench");
+    } else if (key == "grid") {
+      r.grid = as<std::string>(value, "grid");
+    } else if (key == "mode") {
+      r.mode = as<std::string>(value, "mode");
+    } else if (key == "root") {
+      r.root = static_cast<ClusterId>(as_u64(value, "root"));
+    } else if (key == "seed") {
+      r.seed = as_u64(value, "seed");
+    } else if (key == "jitter") {
+      r.jitter = as_number(value, "jitter");
+    } else if (key == "shards") {
+      r.shards = as_u64(value, "shards");
+    } else if (key == "shard") {
+      r.shard = as_u64(value, "shard");
+    } else if (key == "threads") {
+      // Historical BENCH_sweep.json field; accepted and ignored.
+    } else if (key == "sizes") {
+      for (const auto& v : as<JsonArray>(value, "sizes"))
+        r.sizes.push_back(as_u64(v, "sizes[]"));
+    } else if (key == "series") {
+      for (const auto& sv : as<JsonArray>(value, "series")) {
+        const JsonObject& so = as<JsonObject>(sv, "series[]");
+        BenchSeries s;
+        s.name = as<std::string>(require(so, "name"), "series name");
+        if (const JsonValue* w = find(so, "wall_time_s"))
+          s.wall_time_s = as_number(*w, "wall_time_s");
+        for (const auto& mv : as<JsonArray>(require(so, "makespan_s"),
+                                            "makespan_s"))
+          s.makespan_s.push_back(as_number(mv, "makespan_s[]"));
+        r.series.push_back(std::move(s));
+      }
+    } else {
+      throw InvalidInput("bench JSON: unknown key '" + key + "'");
+    }
+  }
+  if (find(o, "sizes") == nullptr || find(o, "series") == nullptr)
+    throw InvalidInput("bench JSON: missing 'sizes' or 'series'");
+  if (r.shards == 0 || r.shard >= r.shards)
+    throw InvalidInput("bench JSON: shard index out of range");
+  for (const auto& s : r.series)
+    if (s.makespan_s.size() != r.sizes.size())
+      throw InvalidInput("bench JSON: series '" + s.name + "' has " +
+                         std::to_string(s.makespan_s.size()) +
+                         " cells for " + std::to_string(r.sizes.size()) +
+                         " sizes");
+  return r;
+}
+
+BenchReport read_bench_json(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return bench_from_json(buf.str());
+}
+
+std::vector<std::string> compare_bench(const BenchReport& baseline,
+                                       const BenchReport& current,
+                                       const BenchCompareOptions& opts) {
+  std::vector<std::string> problems;
+  const auto add = [&](std::string p) { problems.push_back(std::move(p)); };
+
+  if (baseline.grid != current.grid)
+    add("grid mismatch: baseline '" + baseline.grid + "' vs current '" +
+        current.grid + "'");
+  if (baseline.mode != current.mode)
+    add("mode mismatch: baseline '" + baseline.mode + "' vs current '" +
+        current.mode + "'");
+  else if (baseline.mode == "measured" &&
+           (baseline.seed != current.seed ||
+            baseline.jitter != current.jitter)) {
+    // Same rule the shard merger enforces: measured numbers are only
+    // comparable under one (seed, jitter).  Diagnose it as one problem
+    // instead of a per-cell drift cascade.
+    add("measured-mode seed/jitter mismatch: baseline (" +
+        std::to_string(baseline.seed) + ", " +
+        std::to_string(baseline.jitter) + ") vs current (" +
+        std::to_string(current.seed) + ", " + std::to_string(current.jitter) +
+        ")");
+    return problems;
+  }
+  if (baseline.root != current.root)
+    add("root mismatch: baseline " + std::to_string(baseline.root) +
+        " vs current " + std::to_string(current.root));
+  if (baseline.sizes != current.sizes) {
+    add("size ladder mismatch (" + std::to_string(baseline.sizes.size()) +
+        " baseline vs " + std::to_string(current.sizes.size()) +
+        " current points)");
+    return problems;  // per-cell comparison would be meaningless
+  }
+
+  for (const auto& cur : current.series)
+    if (baseline.find_series(cur.name) == nullptr)
+      add("extra series '" + cur.name +
+          "' not in baseline (new heuristic? regenerate the baseline)");
+
+  for (const auto& base : baseline.series) {
+    const BenchSeries* cur = current.find_series(base.name);
+    if (cur == nullptr) {
+      add("missing series '" + base.name + "'");
+      continue;
+    }
+    for (std::size_t i = 0; i < base.makespan_s.size(); ++i) {
+      const double b = base.makespan_s[i];
+      const double c = cur->makespan_s[i];
+      if (std::isnan(b)) continue;  // baseline never measured this cell
+      // Written so NaN on the current side fails (any comparison with
+      // NaN is false, so the negation trips).
+      const double tol = opts.makespan_rtol * std::max(std::abs(b), 1e-300);
+      if (!(std::abs(c - b) <= tol))
+        add("series '" + base.name + "' makespan drift at size " +
+            std::to_string(baseline.sizes[i]) + ": baseline " +
+            std::to_string(b) + " vs current " + std::to_string(c));
+    }
+    if (!std::isnan(base.wall_time_s)) {
+      const double limit = base.wall_time_s * opts.wall_factor;
+      if (std::isnan(cur->wall_time_s))
+        add("series '" + base.name + "' is missing wall_time_s");
+      else if (!(cur->wall_time_s <= limit))
+        add("series '" + base.name + "' wall_time_s regression: baseline " +
+            std::to_string(base.wall_time_s) + "s, current " +
+            std::to_string(cur->wall_time_s) + "s (limit " +
+            std::to_string(limit) + "s)");
+    }
+  }
+  return problems;
+}
+
+}  // namespace gridcast::io

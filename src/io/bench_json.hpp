@@ -1,0 +1,85 @@
+#pragma once
+
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hpp"
+
+/// Machine-readable benchmark reports (BENCH_sweep.json and friends).
+///
+/// One grammar serves every producer and consumer: the `gridcast_race`
+/// CLI, `bench_sweep_json`, shard merging, and the CI regression gate all
+/// traffic in a `BenchReport`.  Writing is deterministic — 17 significant
+/// digits, fixed key order — so a merged set of shard reports is
+/// byte-identical to the equivalent single-process run, and a re-serialised
+/// parse is byte-identical to its source.  Scheduler names pass through
+/// `json_escape`, so a registered name containing a quote or backslash
+/// cannot corrupt the output.
+namespace gridcast::io {
+
+/// One strategy's row: makespan per sweep size plus (optionally) the
+/// wall-clock cost of computing its schedules.  NaN marks "absent": a
+/// sharded run leaves foreign cells NaN (written as `null`), and
+/// `wall_time_s` is NaN unless the producer timed scheduling.
+struct BenchSeries {
+  std::string name;
+  double wall_time_s = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> makespan_s;
+};
+
+/// A full report: the sweep axis, per-series results, and enough metadata
+/// (grid, mode, root, seed/jitter, shard coordinates) to refuse apples-to-
+/// oranges comparisons and merges.
+struct BenchReport {
+  std::string bench = "race";
+  std::string grid;
+  std::string mode = "predicted";  ///< "predicted" | "measured"
+  ClusterId root = 0;
+  std::uint64_t seed = 0;          ///< measured mode only (else ignored)
+  double jitter = 0.0;             ///< measured mode only (else ignored)
+  std::size_t shards = 1;          ///< total shards (1 = unsharded)
+  std::size_t shard = 0;           ///< this report's shard index
+  std::vector<Bytes> sizes;
+  std::vector<BenchSeries> series;
+
+  [[nodiscard]] const BenchSeries* find_series(std::string_view name) const;
+};
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; UTF-8 passes through).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Serialise deterministically (17 significant digits, NaN → null,
+/// shard fields only when shards > 1, seed/jitter only in measured mode).
+void write_bench_json(std::ostream& os, const BenchReport& r);
+[[nodiscard]] std::string bench_to_json(const BenchReport& r);
+
+/// Parse a report written by `write_bench_json` (strict: malformed JSON,
+/// unknown keys, or type mismatches throw InvalidInput).
+[[nodiscard]] BenchReport read_bench_json(std::istream& is);
+[[nodiscard]] BenchReport bench_from_json(const std::string& text);
+
+/// Tolerances for the CI regression gate.
+struct BenchCompareOptions {
+  /// Relative tolerance on per-cell makespan drift (the model is
+  /// deterministic; this only absorbs cross-platform float noise).
+  double makespan_rtol = 1e-6;
+  /// A series regresses when wall_time_s exceeds baseline * wall_factor
+  /// (generous: CI machines are slower and noisier than the one that
+  /// recorded the baseline).
+  double wall_factor = 10.0;
+};
+
+/// Compare `current` against `baseline`; returns one human-readable
+/// problem per violation (empty = gate passes).  Violations: metadata or
+/// size-axis mismatch, missing/extra series, uncomputed (NaN) cells,
+/// makespan drift past `makespan_rtol`, wall-time regression past
+/// `wall_factor`.
+[[nodiscard]] std::vector<std::string> compare_bench(
+    const BenchReport& baseline, const BenchReport& current,
+    const BenchCompareOptions& opts = {});
+
+}  // namespace gridcast::io

@@ -32,10 +32,17 @@ void SchedulerRegistry::add(std::string name, Factory factory,
   // unambiguous, and the "ecef-lat" → ECEF-LAT alias relies on it.)
   if (factories_.contains(name) || aliases_.contains(fold(name)))
     throw InvalidInput("scheduler '" + name + "' is already registered");
-  for (auto& a : aliases) {
-    a = fold(a);
-    if (aliases_.contains(a) || factories_.contains(a))
-      throw InvalidInput("scheduler alias '" + a + "' is already registered");
+  for (std::size_t i = 0; i < aliases.size(); ++i) {
+    aliases[i] = fold(aliases[i]);
+    if (aliases_.contains(aliases[i]) || factories_.contains(aliases[i]))
+      throw InvalidInput("scheduler alias '" + aliases[i] +
+                         "' is already registered");
+    // Also reject duplicates *within this call*: emplace below keeps only
+    // the first occurrence, so a repeated alias would be silently dropped.
+    for (std::size_t j = 0; j < i; ++j)
+      if (aliases[j] == aliases[i])
+        throw InvalidInput("scheduler alias '" + aliases[i] +
+                           "' appears twice in one registration");
   }
   for (auto& a : aliases) aliases_.emplace(std::move(a), name);
   order_.push_back(name);

@@ -1,0 +1,78 @@
+#include "exp/instance_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "topology/grid5000.hpp"
+
+namespace gridcast::exp {
+namespace {
+
+TEST(InstanceCache, DerivesOncePerKey) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid);
+  EXPECT_EQ(cache.entries(), 0u);
+
+  const sched::Instance& a = cache.get(0, MiB(1));
+  const sched::Instance& b = cache.get(0, MiB(1));
+  EXPECT_EQ(&a, &b);  // same object, not a re-derivation
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  (void)cache.get(0, MiB(2));   // new size
+  (void)cache.get(1, MiB(1));   // new root
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(InstanceCache, MatchesDirectDerivation) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid);
+  const sched::Instance& cached = cache.get(2, MiB(4));
+  const sched::Instance direct = sched::Instance::from_grid(grid, 2, MiB(4));
+  ASSERT_EQ(cached.clusters(), direct.clusters());
+  EXPECT_EQ(cached.root(), direct.root());
+  for (ClusterId i = 0; i < cached.clusters(); ++i) {
+    EXPECT_DOUBLE_EQ(cached.T(i), direct.T(i));
+    for (ClusterId j = 0; j < cached.clusters(); ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(cached.g(i, j), direct.g(i, j));
+      EXPECT_DOUBLE_EQ(cached.L(i, j), direct.L(i, j));
+    }
+  }
+}
+
+TEST(InstanceCache, ReferencesStayValidAcrossGrowth) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid);
+  const sched::Instance& first = cache.get(0, KiB(256));
+  const Time t0 = first.T(0);
+  // Grow the cache well past any small-map reallocation threshold.
+  for (Bytes m = KiB(512); m <= MiB(8); m += KiB(128)) (void)cache.get(0, m);
+  EXPECT_DOUBLE_EQ(first.T(0), t0);
+  EXPECT_EQ(&cache.get(0, KiB(256)), &first);
+}
+
+TEST(InstanceCache, ConcurrentGetsAgree) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid);
+  constexpr int kThreads = 8;
+  std::vector<const sched::Instance*> got(kThreads, nullptr);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back(
+          [&, t] { got[t] = &cache.get(0, MiB(1) + KiB(256) * (t % 4)); });
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(cache.entries(), 4u);
+  // Threads that asked for the same key see the same object.
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(got[t], got[t % 4]);
+}
+
+}  // namespace
+}  // namespace gridcast::exp

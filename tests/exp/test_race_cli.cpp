@@ -1,0 +1,278 @@
+#include "exp/race_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridcast::exp {
+namespace {
+
+RaceSpec two_sched_spec() {
+  RaceSpec spec;
+  spec.sched_names = {"FlatTree", "ECEF-LAT"};
+  spec.sizes = {KiB(512), MiB(1), MiB(2)};
+  return spec;
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(RaceCliParse, DefaultsToFullRegistryRunOnGrid5000) {
+  const RaceCli cli = parse_race_cli({});
+  EXPECT_EQ(cli.action, RaceCli::Action::kRun);
+  EXPECT_TRUE(cli.spec.sched_names.empty());  // empty = all registered
+  EXPECT_TRUE(cli.spec.sizes.empty());        // empty = default ladder
+  EXPECT_EQ(cli.grid_arg, "grid5000");
+  EXPECT_EQ(cli.spec.shard.shards, 1u);
+  EXPECT_FALSE(cli.spec.wall);
+}
+
+TEST(RaceCliParse, SchedListSizesAndMode) {
+  const RaceCli cli = parse_race_cli(
+      {"--sched=FlatTree,ecef-lat", "--sizes=256K,1M,4MiB",
+       "--mode=measured", "--jitter=0.1", "--seed=9", "--root=2",
+       "--out=x.json"});
+  ASSERT_EQ(cli.spec.sched_names.size(), 2u);
+  EXPECT_EQ(cli.spec.sched_names[1], "ecef-lat");
+  ASSERT_EQ(cli.spec.sizes.size(), 3u);
+  EXPECT_EQ(cli.spec.sizes[0], KiB(256));
+  EXPECT_EQ(cli.spec.sizes[1], MiB(1));
+  EXPECT_EQ(cli.spec.sizes[2], MiB(4));
+  EXPECT_EQ(cli.spec.mode, RaceMode::kMeasured);
+  EXPECT_DOUBLE_EQ(cli.spec.jitter, 0.1);
+  EXPECT_EQ(cli.spec.seed, 9u);
+  EXPECT_EQ(cli.spec.root, 2u);
+  EXPECT_EQ(cli.out_path, "x.json");
+}
+
+TEST(RaceCliParse, ShardForms) {
+  EXPECT_EQ(parse_race_cli({"--shards=4", "--shard=3"}).spec.shard.shard, 3u);
+  const RaceCli pair = parse_race_cli({"--shard=1/3"});
+  EXPECT_EQ(pair.spec.shard.shards, 3u);
+  EXPECT_EQ(pair.spec.shard.shard, 1u);
+  // Agreeing redundant forms are fine; disagreeing ones are not.
+  EXPECT_NO_THROW((void)parse_race_cli({"--shards=3", "--shard=1/3"}));
+  EXPECT_THROW((void)parse_race_cli({"--shards=2", "--shard=1/3"}),
+               InvalidInput);
+  // Shard index out of range.
+  EXPECT_THROW((void)parse_race_cli({"--shards=2", "--shard=2"}),
+               InvalidInput);
+}
+
+TEST(RaceCliParse, RejectsBadInput) {
+  EXPECT_THROW((void)parse_race_cli({"--nonsense"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"stray.json"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"--mode=both"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"--sizes=12Q"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"--sizes=,1M"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"--seed=ten"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"--sched=a,,b"}), InvalidInput);
+  // Wall time is machine-local; sharded outputs must stay byte-mergeable.
+  EXPECT_THROW((void)parse_race_cli({"--wall", "--shards=2", "--shard=0"}),
+               InvalidInput);
+  // A keyed flag without '=' must not silently use itself as its value.
+  EXPECT_THROW((void)parse_race_cli({"--out"}), InvalidInput);
+  EXPECT_THROW((void)parse_race_cli({"--check"}), InvalidInput);
+  // A zero shard count in the k/N form must not degrade to unsharded.
+  EXPECT_THROW((void)parse_race_cli({"--shard=0/0"}), InvalidInput);
+}
+
+TEST(RaceCliParse, MergeTakesOutputThenInputs) {
+  const RaceCli cli =
+      parse_race_cli({"--merge", "out.json", "a.json", "b.json"});
+  EXPECT_EQ(cli.action, RaceCli::Action::kMerge);
+  EXPECT_EQ(cli.out_path, "out.json");
+  ASSERT_EQ(cli.merge_inputs.size(), 2u);
+  EXPECT_EQ(cli.merge_inputs[1], "b.json");
+  EXPECT_THROW((void)parse_race_cli({"--merge", "out.json"}), InvalidInput);
+}
+
+TEST(RaceCliParse, CheckNeedsBaseline) {
+  const RaceCli cli = parse_race_cli(
+      {"--check=cur.json", "--baseline=base.json", "--rtol=1e-3",
+       "--wall-tol=5"});
+  EXPECT_EQ(cli.action, RaceCli::Action::kCheck);
+  EXPECT_EQ(cli.check_path, "cur.json");
+  EXPECT_EQ(cli.baseline_path, "base.json");
+  EXPECT_DOUBLE_EQ(cli.tolerances.makespan_rtol, 1e-3);
+  EXPECT_DOUBLE_EQ(cli.tolerances.wall_factor, 5.0);
+  EXPECT_THROW((void)parse_race_cli({"--check=cur.json"}), InvalidInput);
+}
+
+TEST(RaceCliParse, SizeUnits) {
+  EXPECT_EQ(parse_size("262144"), Bytes{262144});
+  EXPECT_EQ(parse_size("256K"), KiB(256));
+  EXPECT_EQ(parse_size("256kib"), KiB(256));
+  EXPECT_EQ(parse_size("4M"), MiB(4));
+  EXPECT_EQ(parse_size("0.5MiB"), KiB(512));
+  EXPECT_THROW((void)parse_size("MiB"), InvalidInput);
+  EXPECT_THROW((void)parse_size("0K"), InvalidInput);
+  // Sub-byte sizes would truncate to 0; huge ones would overflow the cast.
+  EXPECT_THROW((void)parse_size("0.5"), InvalidInput);
+  EXPECT_THROW((void)parse_size("99999999999999999999999"), InvalidInput);
+}
+
+// ------------------------------------------------------------- resolution
+
+TEST(RaceResolve, UnknownNameListsRegisteredSchedulers) {
+  try {
+    (void)resolve_competitors({"FlatTree", "NoSuchHeuristic"}, {});
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NoSuchHeuristic"), std::string::npos);
+    EXPECT_NE(what.find("ECEF-LAT"), std::string::npos);
+    EXPECT_NE(what.find("BottomUp"), std::string::npos);
+  }
+}
+
+TEST(RaceResolve, RejectsDuplicatesEvenViaAliases) {
+  EXPECT_THROW((void)resolve_competitors({"ECEF-LAT", "ecef-lat"}, {}),
+               InvalidInput);
+}
+
+// ------------------------------------------------------- shard round trip
+
+TEST(RaceShard, MergedShardsAreByteIdenticalToUnsharded) {
+  const auto grid = topology::grid5000_testbed();
+  ThreadPool pool(2);
+  RaceSpec spec = two_sched_spec();
+
+  InstanceCache full_cache(grid);
+  const io::BenchReport full =
+      run_race_sweep(full_cache, "grid5000_testbed", spec, pool);
+
+  std::vector<io::BenchReport> shards;
+  for (std::size_t k = 0; k < 3; ++k) {
+    spec.shard = {3, k};
+    InstanceCache cache(grid);
+    shards.push_back(run_race_sweep(cache, "grid5000_testbed", spec, pool));
+  }
+  const io::BenchReport merged = merge_race_shards(shards);
+  EXPECT_EQ(io::bench_to_json(merged), io::bench_to_json(full));
+}
+
+TEST(RaceShard, MeasuredModeMergesByteIdenticallyToo) {
+  const auto grid = topology::grid5000_testbed();
+  ThreadPool pool(2);
+  RaceSpec spec = two_sched_spec();
+  spec.mode = RaceMode::kMeasured;
+  spec.jitter = 0.05;
+  spec.seed = 42;
+
+  InstanceCache full_cache(grid);
+  const io::BenchReport full =
+      run_race_sweep(full_cache, "grid5000_testbed", spec, pool);
+  ASSERT_EQ(full.series[0].name, "DefaultLAM");
+
+  std::vector<io::BenchReport> shards;
+  for (std::size_t k = 0; k < 2; ++k) {
+    spec.shard = {2, k};
+    InstanceCache cache(grid);
+    shards.push_back(run_race_sweep(cache, "grid5000_testbed", spec, pool));
+  }
+  const io::BenchReport merged =
+      merge_race_shards({shards[1], shards[0]});  // order must not matter
+  EXPECT_EQ(io::bench_to_json(merged), io::bench_to_json(full));
+}
+
+TEST(RaceShard, MergeRejectsBadShardSets) {
+  const auto grid = topology::grid5000_testbed();
+  ThreadPool pool(0);
+  RaceSpec spec = two_sched_spec();
+
+  std::vector<io::BenchReport> shards;
+  for (std::size_t k = 0; k < 2; ++k) {
+    spec.shard = {2, k};
+    InstanceCache cache(grid);
+    shards.push_back(run_race_sweep(cache, "grid5000_testbed", spec, pool));
+  }
+
+  EXPECT_THROW((void)merge_race_shards({}), InvalidInput);
+  EXPECT_THROW((void)merge_race_shards({shards[0]}), InvalidInput);
+  EXPECT_THROW((void)merge_race_shards({shards[0], shards[0]}), InvalidInput);
+
+  // A cell computed by a shard that does not own it is corruption.
+  auto bad = shards;
+  bad[1].series[0].makespan_s = bad[0].series[0].makespan_s;
+  EXPECT_THROW((void)merge_race_shards(bad), InvalidInput);
+
+  // Metadata must agree.
+  bad = shards;
+  bad[1].grid = "other_grid";
+  EXPECT_THROW((void)merge_race_shards(bad), InvalidInput);
+}
+
+// -------------------------------------------------------- engine details
+
+TEST(RaceSweep, WallTimesOnlyWhereRequestedAndMeaningful) {
+  const auto grid = topology::grid5000_testbed();
+  ThreadPool pool(0);
+  RaceSpec spec = two_sched_spec();
+  spec.wall = true;
+  spec.mode = RaceMode::kMeasured;
+  InstanceCache cache(grid);
+  const io::BenchReport r =
+      run_race_sweep(cache, "grid5000_testbed", spec, pool);
+  ASSERT_EQ(r.series.size(), 3u);
+  EXPECT_TRUE(std::isnan(r.series[0].wall_time_s));  // DefaultLAM
+  EXPECT_GE(r.series[1].wall_time_s, 0.0);
+  EXPECT_GE(r.series[2].wall_time_s, 0.0);
+
+  spec.shard = {2, 0};
+  InstanceCache cache2(grid);
+  EXPECT_THROW((void)run_race_sweep(cache2, "grid5000_testbed", spec, pool),
+               InvalidInput);
+}
+
+TEST(RaceSweep, EmptySchedulerListRejected) {
+  const auto grid = topology::grid5000_testbed();
+  ThreadPool pool(0);
+  InstanceCache cache(grid);
+  RaceSpec spec;
+  spec.sizes = {MiB(1)};
+  EXPECT_THROW((void)run_race_sweep(cache, "g", spec, pool), InvalidInput);
+}
+
+// --------------------------------------------------------- CLI end to end
+
+TEST(RaceCliDriver, CheckGatePassesAndFails) {
+  const std::string dir = testing::TempDir();
+  const std::string base_path = dir + "/race_base.json";
+  const std::string cur_path = dir + "/race_cur.json";
+
+  RaceCli run;
+  run.spec = two_sched_spec();
+  run.out_path = base_path;
+  std::ostringstream out, err;
+  ASSERT_EQ(run_race_cli(run, out, err), 0);
+
+  RaceCli check;
+  check.action = RaceCli::Action::kCheck;
+  check.check_path = base_path;
+  check.baseline_path = base_path;
+  EXPECT_EQ(run_race_cli(check, out, err), 0);
+
+  // Corrupt one makespan cell: the gate must fail.
+  io::BenchReport tampered;
+  {
+    std::ifstream in(base_path);
+    tampered = io::read_bench_json(in);
+  }
+  tampered.series[0].makespan_s[0] *= 1.5;
+  {
+    std::ofstream o(cur_path);
+    io::write_bench_json(o, tampered);
+  }
+  check.check_path = cur_path;
+  std::ostringstream err2;
+  EXPECT_EQ(run_race_cli(check, out, err2), 1);
+  EXPECT_NE(err2.str().find("makespan drift"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridcast::exp

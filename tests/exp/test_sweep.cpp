@@ -2,18 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "topology/grid5000.hpp"
 
 namespace gridcast::exp {
 namespace {
 
-TEST(Sweep, DefaultLadderIsStrictlyIncreasing) {
+TEST(Sweep, DefaultLadderMatchesThePaperAxis) {
+  // Fig. 5/6: 256 KiB steps from 256 KiB to 4 MiB — exactly 16 points.
+  // (An off-by-one endpoint used to emit a 17th 4.25 MiB point.)
   const auto sizes = default_size_ladder();
-  ASSERT_GE(sizes.size(), 8u);
+  ASSERT_EQ(sizes.size(), 16u);
   EXPECT_EQ(sizes.front(), KiB(256));
+  EXPECT_EQ(sizes.back(), MiB(4));
   for (std::size_t i = 1; i < sizes.size(); ++i)
-    EXPECT_GT(sizes[i], sizes[i - 1]);
-  EXPECT_LE(sizes.back(), MiB(4.5));
+    EXPECT_EQ(sizes[i] - sizes[i - 1], KiB(256));
 }
 
 TEST(Sweep, PredictedSeriesShapes) {
@@ -86,6 +90,73 @@ TEST(Sweep, ThreadedSweepMatchesInline) {
     EXPECT_EQ(pi.series[s].completion, pt.series[s].completion);
   for (std::size_t s = 0; s < mi.series.size(); ++s)
     EXPECT_EQ(mi.series[s].completion, mt.series[s].completion);
+}
+
+TEST(Sweep, MeasuredSeriesInvariantUnderCompetitorSetGrowth) {
+  // Regression: per-cell seeds used to be derived from the flat cell
+  // index, which encodes the competitor count — adding one competitor
+  // silently reseeded every existing series, DefaultLAM included.  Seeds
+  // now come from (size index, series name), so a series' results cannot
+  // depend on who else is racing.
+  const auto grid = topology::grid5000_testbed();
+  const std::vector<Bytes> sizes{KiB(512), MiB(1), MiB(2)};
+  const sim::JitterConfig jitter{0.10};  // large enough to expose reseeding
+  const std::vector<sched::Scheduler> small{sched::Scheduler("ECEF-LA")};
+  const std::vector<sched::Scheduler> big{
+      sched::Scheduler("ECEF-LA"), sched::Scheduler("FlatTree"),
+      sched::Scheduler("BottomUp")};
+
+  const SweepResult a = measured_sweep(grid, 0, small, sizes, jitter, 7);
+  const SweepResult b = measured_sweep(grid, 0, big, sizes, jitter, 7);
+
+  ASSERT_EQ(a.series[0].name, "DefaultLAM");
+  ASSERT_EQ(b.series[0].name, "DefaultLAM");
+  EXPECT_EQ(a.series[0].completion, b.series[0].completion);
+  ASSERT_EQ(a.series[1].name, "ECEF-LA");
+  ASSERT_EQ(b.series[1].name, "ECEF-LA");
+  EXPECT_EQ(a.series[1].completion, b.series[1].completion);
+  // Reordering competitors must not change anyone's numbers either.
+  const std::vector<sched::Scheduler> reordered{
+      sched::Scheduler("BottomUp"), sched::Scheduler("ECEF-LA"),
+      sched::Scheduler("FlatTree")};
+  const SweepResult c = measured_sweep(grid, 0, reordered, sizes, jitter, 7);
+  EXPECT_EQ(c.series[2].completion, b.series[1].completion);  // ECEF-LA
+  EXPECT_EQ(c.series[1].completion, b.series[3].completion);  // BottomUp
+}
+
+TEST(Sweep, MeasuredCellSeedsDisperse) {
+  // Distinct (seed, size index, name) triples map to distinct streams.
+  EXPECT_NE(measured_cell_seed(1, 0, "A"), measured_cell_seed(1, 0, "B"));
+  EXPECT_NE(measured_cell_seed(1, 0, "A"), measured_cell_seed(1, 1, "A"));
+  EXPECT_NE(measured_cell_seed(1, 0, "A"), measured_cell_seed(2, 0, "A"));
+  // And are pure functions of their inputs.
+  EXPECT_EQ(measured_cell_seed(1, 3, "ECEF-LAT"),
+            measured_cell_seed(1, 3, "ECEF-LAT"));
+}
+
+TEST(Sweep, ShardedCellsUnionToTheUnshardedResult) {
+  const auto grid = topology::grid5000_testbed();
+  const auto comps = sched::ecef_family();
+  const std::vector<Bytes> sizes{KiB(512), MiB(1)};
+  ThreadPool pool(0);
+  InstanceCache cache(grid);
+  const SweepResult full =
+      measured_sweep(cache, 0, comps, sizes, {0.05}, 3, pool);
+
+  const std::size_t n_series = comps.size() + 1;
+  std::vector<SweepResult> parts;
+  for (std::size_t k = 0; k < 2; ++k)
+    parts.push_back(
+        measured_sweep(cache, 0, comps, sizes, {0.05}, 3, pool, {2, k}));
+
+  for (std::size_t s = 0; s < n_series; ++s) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t owner = (i * n_series + s) % 2;
+      EXPECT_EQ(parts[owner].series[s].completion[i],
+                full.series[s].completion[i]);
+      EXPECT_TRUE(std::isnan(parts[1 - owner].series[s].completion[i]));
+    }
+  }
 }
 
 TEST(Sweep, EmptyInputsRejected) {

@@ -1,0 +1,204 @@
+#include "io/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace gridcast::io {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+BenchReport small_report() {
+  BenchReport r;
+  r.bench = "race";
+  r.grid = "grid5000_testbed";
+  r.mode = "predicted";
+  r.root = 0;
+  r.sizes = {262144, 524288};
+  r.series.push_back({"FlatTree", 0.125, {0.875, 1.75}});
+  r.series.push_back({"ECEF-LAT", kNaN, {0.25, 0.5}});
+  return r;
+}
+
+TEST(JsonEscape, PassesPlainNamesThrough) {
+  EXPECT_EQ(json_escape("ECEF-LAT"), "ECEF-LAT");
+  EXPECT_EQ(json_escape("weight=gap+latency"), "weight=gap+latency");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(BenchJson, QuoteInSchedulerNameSurvivesRoundTrip) {
+  // The original writer emitted names raw, so a registered name with a
+  // quote or backslash corrupted BENCH_sweep.json.
+  BenchReport r = small_report();
+  r.series[0].name = "evil\"name\\with\ncontrols";
+  const BenchReport back = bench_from_json(bench_to_json(r));
+  EXPECT_EQ(back.series[0].name, "evil\"name\\with\ncontrols");
+}
+
+TEST(BenchJson, RoundTripIsByteIdentical) {
+  const BenchReport r = small_report();
+  const std::string once = bench_to_json(r);
+  const std::string twice = bench_to_json(bench_from_json(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(BenchJson, RoundTripPreservesValuesAndNaN) {
+  BenchReport r = small_report();
+  r.mode = "measured";
+  r.seed = 1234567890123456789ULL;
+  r.jitter = 0.05;
+  r.shards = 4;
+  r.shard = 2;
+  r.series[0].makespan_s[1] = kNaN;  // foreign shard's cell
+  const BenchReport back = bench_from_json(bench_to_json(r));
+  EXPECT_EQ(back.mode, "measured");
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_DOUBLE_EQ(back.jitter, 0.05);
+  EXPECT_EQ(back.shards, 4u);
+  EXPECT_EQ(back.shard, 2u);
+  ASSERT_EQ(back.series.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.series[0].wall_time_s, 0.125);
+  EXPECT_TRUE(std::isnan(back.series[1].wall_time_s));
+  EXPECT_DOUBLE_EQ(back.series[0].makespan_s[0], 0.875);
+  EXPECT_TRUE(std::isnan(back.series[0].makespan_s[1]));
+}
+
+TEST(BenchJson, SeventeenDigitDoublesRoundTripExactly) {
+  BenchReport r = small_report();
+  r.series[0].makespan_s = {0.1 + 0.2, 13.875781257818181};
+  r.series[1].makespan_s = {1.0 / 3.0, 4e-320};
+  const BenchReport back = bench_from_json(bench_to_json(r));
+  EXPECT_EQ(back.series[0].makespan_s[0], 0.1 + 0.2);
+  EXPECT_EQ(back.series[0].makespan_s[1], 13.875781257818181);
+  EXPECT_EQ(back.series[1].makespan_s[0], 1.0 / 3.0);
+  EXPECT_EQ(back.series[1].makespan_s[1], 4e-320);
+}
+
+TEST(BenchJson, StrictParserRejectsMalformedInput) {
+  EXPECT_THROW((void)bench_from_json("{"), InvalidInput);
+  EXPECT_THROW((void)bench_from_json("[]{}"), InvalidInput);
+  EXPECT_THROW((void)bench_from_json("{\"bench\": \"x\"}"), InvalidInput);
+  EXPECT_THROW((void)bench_from_json(
+                   "{\"sizes\": [1], \"series\": [], \"nope\": 1}"),
+               InvalidInput);
+  // Series cell count must match the size axis.
+  EXPECT_THROW(
+      (void)bench_from_json(
+          "{\"sizes\": [1, 2], "
+          "\"series\": [{\"name\": \"A\", \"makespan_s\": [0.5]}]}"),
+      InvalidInput);
+  // Shard index out of range.
+  EXPECT_THROW((void)bench_from_json(
+                   "{\"shards\": 2, \"shard\": 2, \"sizes\": [], "
+                   "\"series\": []}"),
+               InvalidInput);
+}
+
+TEST(BenchCompare, IdenticalReportsPass) {
+  const BenchReport r = small_report();
+  EXPECT_TRUE(compare_bench(r, r).empty());
+}
+
+TEST(BenchCompare, MissingSeriesFails) {
+  const BenchReport base = small_report();
+  BenchReport cur = base;
+  cur.series.pop_back();
+  const auto problems = compare_bench(base, cur);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("missing series 'ECEF-LAT'"), std::string::npos);
+}
+
+TEST(BenchCompare, ExtraSeriesFails) {
+  const BenchReport base = small_report();
+  BenchReport cur = base;
+  cur.series.push_back({"Newcomer", kNaN, {1.0, 2.0}});
+  const auto problems = compare_bench(base, cur);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("extra series 'Newcomer'"), std::string::npos);
+}
+
+TEST(BenchCompare, MakespanDriftBeyondToleranceFails) {
+  const BenchReport base = small_report();
+  BenchReport cur = base;
+  BenchCompareOptions opts;
+  opts.makespan_rtol = 1e-6;
+  // Inside the tolerance band: passes.
+  cur.series[0].makespan_s[0] = 0.875 * (1 + 5e-7);
+  EXPECT_TRUE(compare_bench(base, cur, opts).empty());
+  // Just beyond: fails.
+  cur.series[0].makespan_s[0] = 0.875 * (1 + 3e-6);
+  const auto problems = compare_bench(base, cur, opts);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("makespan drift"), std::string::npos);
+}
+
+TEST(BenchCompare, NanCurrentCellFails) {
+  const BenchReport base = small_report();
+  BenchReport cur = base;
+  cur.series[1].makespan_s[1] = kNaN;  // uncomputed cell
+  EXPECT_EQ(compare_bench(base, cur).size(), 1u);
+}
+
+TEST(BenchCompare, NanBaselineCellIsSkipped) {
+  BenchReport base = small_report();
+  base.series[1].makespan_s[1] = kNaN;  // baseline never measured it
+  BenchReport cur = small_report();
+  cur.series[1].makespan_s[1] = 123.0;
+  EXPECT_TRUE(compare_bench(base, cur).empty());
+}
+
+TEST(BenchCompare, WallTimeRegressionFails) {
+  const BenchReport base = small_report();  // FlatTree wall 0.125
+  BenchReport cur = base;
+  BenchCompareOptions opts;
+  opts.wall_factor = 10.0;
+  cur.series[0].wall_time_s = 1.25;  // exactly the limit: passes
+  EXPECT_TRUE(compare_bench(base, cur, opts).empty());
+  cur.series[0].wall_time_s = 1.26;
+  const auto problems = compare_bench(base, cur, opts);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("wall_time_s regression"), std::string::npos);
+  // Wall time present in the baseline but absent in the run also fails.
+  cur.series[0].wall_time_s = kNaN;
+  EXPECT_EQ(compare_bench(base, cur, opts).size(), 1u);
+}
+
+TEST(BenchCompare, MetadataMismatchFails) {
+  const BenchReport base = small_report();
+  BenchReport cur = base;
+  cur.mode = "measured";
+  EXPECT_FALSE(compare_bench(base, cur).empty());
+
+  // Measured reports under different seeds/jitter are one metadata
+  // problem (same rule the shard merger enforces), not a drift cascade.
+  BenchReport mbase = base;
+  mbase.mode = "measured";
+  mbase.seed = 1;
+  BenchReport mcur = mbase;
+  mcur.seed = 2;
+  for (auto& s : mcur.series)
+    for (auto& v : s.makespan_s) v *= 2.0;  // would drift every cell
+  const auto seed_problems = compare_bench(mbase, mcur);
+  ASSERT_EQ(seed_problems.size(), 1u);
+  EXPECT_NE(seed_problems[0].find("seed/jitter mismatch"), std::string::npos);
+
+  cur = base;
+  cur.sizes.push_back(786432);
+  for (auto& s : cur.series) s.makespan_s.push_back(1.0);
+  const auto problems = compare_bench(base, cur);
+  ASSERT_EQ(problems.size(), 1u);  // ladder mismatch short-circuits
+  EXPECT_NE(problems[0].find("size ladder mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridcast::io

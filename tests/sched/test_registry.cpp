@@ -65,6 +65,24 @@ TEST(Registry, DuplicateRegistrationRejected) {
   EXPECT_EQ(reg.make("fresh-alias")->name(), "FlatTree");
 }
 
+TEST(Registry, DuplicateAliasWithinOneCallRejected) {
+  // Regression: intra-call duplicates were only checked against already-
+  // registered maps, so the second occurrence was silently dropped by
+  // aliases_.emplace.
+  SchedulerRegistry reg;
+  const auto factory = [](const HeuristicOptions& o) {
+    return std::make_shared<const FlatTreeScheduler>(o);
+  };
+  EXPECT_THROW(reg.add("A", factory, {"dup", "dup"}), InvalidInput);
+  // Case-insensitive folding makes these the same alias too.
+  EXPECT_THROW(reg.add("B", factory, {"Alias", "alias"}), InvalidInput);
+  // The failed registration must not leave partial state behind.
+  EXPECT_FALSE(reg.contains("A"));
+  EXPECT_FALSE(reg.contains("dup"));
+  reg.add("C", factory, {"dup"});
+  EXPECT_EQ(reg.make("dup")->name(), "FlatTree");
+}
+
 TEST(Registry, NamesPreserveRegistrationOrder) {
   const auto names = registry().names();
   ASSERT_GE(names.size(), 7u);

@@ -1,0 +1,44 @@
+// gridcast_race: race any set of registered scheduling heuristics over a
+// message-size ladder — the one registry-driven CLI behind the per-figure
+// bench binaries.
+//
+//   gridcast_race --sched=FlatTree,ECEF-LAT --mode=predicted --out=race.json
+//   gridcast_race --sched=all --shards=2 --shard=0 --out=s0.json
+//   gridcast_race --merge race.json s0.json s1.json
+//   gridcast_race --check=race.json --baseline=BENCH_baseline.json
+//
+// Sharded runs partition the (size x series) cell grid deterministically,
+// and --merge recombines shard outputs byte-identically to an unsharded
+// run.  --check is the CI regression gate against BENCH_baseline.json.
+// All logic lives in the library (src/exp/race_cli.hpp) where it is
+// unit-tested; this is only the entry point.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/race_cli.hpp"
+#include "support/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridcast;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::cout << exp::race_cli_usage();
+      return 0;
+    }
+  }
+
+  try {
+    const exp::RaceCli cli = exp::parse_race_cli(args);
+    return exp::run_race_cli(cli, std::cout, std::cerr);
+  } catch (const InvalidInput& e) {
+    std::cerr << "gridcast_race: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "gridcast_race: internal error: " << e.what() << "\n";
+    return 3;
+  }
+}
