@@ -1,7 +1,8 @@
 // Figure 5: model-predicted completion time of a broadcast on the
 // 88-machine GRID5000 testbed (Table 3), message sizes up to 4 MiB,
 // all seven heuristics.  Delegates to the registry-driven race engine
-// (exp::run_race_sweep) — the same code path as `tools/gridcast_race`.
+// (exp::run_race_sweep) over the "plogp" collective backend — the same
+// code path as `tools/gridcast_race --backend=plogp`.
 //
 // Expected shape (paper): ECEF family < BottomUp < FlatTree at every
 // size; ECEF family stays under ~3 s at 4 MB while FlatTree is several
@@ -19,6 +20,7 @@ int main() {
       "Figure 5", "predicted broadcast time on the Table 3 testbed (s)", opt);
 
   exp::RaceSpec spec;
+  spec.backend = "plogp";
   for (const auto& c : sched::paper_heuristics())
     spec.sched_names.emplace_back(c.name());
   // Prediction must mirror the executor's semantics: coordinators

@@ -4,8 +4,8 @@
 // two-level broadcast is executed, including receive overheads and
 // optional per-message jitter, plus the grid-unaware binomial tree the
 // paper labels "Default LAM".  Delegates to the registry-driven race
-// engine (exp::run_race_sweep) — the same code path as `tools/gridcast_race
-// --mode=measured`.
+// engine (exp::run_race_sweep) over the "sim" collective backend — the
+// same code path as `tools/gridcast_race --backend=sim`.
 //
 // Expected shape (paper): measured tracks predicted (Fig. 5); ECEF family
 // best, DefaultLAM in between, FlatTree worst by several times.
@@ -28,7 +28,7 @@ int main() {
   exp::RaceSpec spec;
   for (const auto& c : sched::paper_heuristics())
     spec.sched_names.emplace_back(c.name());
-  spec.mode = exp::RaceMode::kMeasured;
+  spec.backend = "sim";
   spec.jitter = jitter;
   spec.seed = opt.seed;
 

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::from_env(1);
 
   exp::RaceCli cli;
+  cli.spec.backend = "plogp";  // the analytic backend: CI's trajectory axis
   cli.spec.wall = true;  // every registry entry races, with scheduling cost
   cli.threads = opt.threads;
   cli.out_path = path;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,20 +10,35 @@
 #include "sched/instance.hpp"
 #include "topology/grid.hpp"
 
-/// Memoised `Instance::from_grid` derivations for one grid.
+/// Memoised `Instance::from_grid` derivations for one grid, bounded as a
+/// byte-accounted LRU.
 ///
 /// Deriving an instance costs O(clusters²) gap-function evaluations, and
 /// sweep harnesses used to pay it once per (size, series) *cell* — the
 /// measured sweep re-derived the identical instance for every competitor
 /// of a size.  The cache keys on (root, size); the grid is fixed per cache
 /// (grids are the expensive measured artefact and have no cheap identity).
+///
+/// Root-rotation workloads (many roots × many sizes) would otherwise grow
+/// the map without limit, so the cache optionally bounds its footprint:
+/// when the byte account exceeds `capacity_bytes`, least-recently-used
+/// entries are evicted.  Entries are handed out as `shared_ptr`, so a
+/// holder's instance survives its own eviction — eviction only drops the
+/// cache's reference.
 namespace gridcast::exp {
+
+/// Shared ownership handle for a cached derivation.
+using InstancePtr = std::shared_ptr<const sched::Instance>;
 
 class InstanceCache {
  public:
-  explicit InstanceCache(const topology::Grid& grid) : grid_(&grid) {}
+  /// `capacity_bytes == 0` means unbounded (the default — sweep ladders
+  /// are small; only root-rotation workloads need the bound).
+  explicit InstanceCache(const topology::Grid& grid,
+                         std::size_t capacity_bytes = 0)
+      : grid_(&grid), capacity_(capacity_bytes) {}
   /// The cache only references the grid; a temporary would dangle.
-  explicit InstanceCache(topology::Grid&&) = delete;
+  explicit InstanceCache(topology::Grid&&, std::size_t = 0) = delete;
 
   InstanceCache(const InstanceCache&) = delete;
   InstanceCache& operator=(const InstanceCache&) = delete;
@@ -30,12 +46,24 @@ class InstanceCache {
   [[nodiscard]] const topology::Grid& grid() const noexcept { return *grid_; }
 
   /// The instance the grid poses for an m-byte broadcast rooted at `root`,
-  /// derived on first use.  Thread-safe; the reference stays valid for the
-  /// cache's lifetime.  Concurrent first requests for the same key may
-  /// derive twice (derivation runs outside the lock so distinct keys never
-  /// serialise); the first insertion wins and derivation is deterministic,
-  /// so all callers see identical values.
-  [[nodiscard]] const sched::Instance& get(ClusterId root, Bytes m);
+  /// derived on first use and promoted to most-recently-used.  Thread-safe.
+  /// Concurrent first requests for the same key may derive twice
+  /// (derivation runs outside the lock so distinct keys never serialise);
+  /// the first insertion wins and derivation is deterministic, so all
+  /// callers see identical values.
+  [[nodiscard]] InstancePtr get(ClusterId root, Bytes m);
+
+  /// Change the byte bound (0 = unbounded), evicting immediately if the
+  /// current account exceeds it.
+  void set_capacity(std::size_t capacity_bytes);
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Bytes the cached instances account for (matrix + vector payloads via
+  /// `instance_bytes`); the basis of the eviction decision.
+  [[nodiscard]] std::size_t bytes_in_use() const;
+
+  /// Entries dropped by the LRU bound so far.
+  [[nodiscard]] std::uint64_t evictions() const;
 
   /// Distinct (root, size) keys currently held.
   [[nodiscard]] std::size_t entries() const;
@@ -44,14 +72,33 @@ class InstanceCache {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
+  /// The accounting rule: what one cached instance charges against the
+  /// capacity (its two clusters² time matrices, the T vector, and the
+  /// bookkeeping structs).
+  [[nodiscard]] static std::size_t instance_bytes(
+      const sched::Instance& inst) noexcept;
+
  private:
+  using Key = std::pair<ClusterId, Bytes>;
+  struct Entry {
+    InstancePtr instance;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru;  ///< position in lru_ (front = recent)
+  };
+
+  /// Drop least-recently-used entries until the account fits `capacity_`.
+  /// Caller holds `mu_`.
+  void evict_to_capacity();
+
   const topology::Grid* grid_;
   mutable std::mutex mu_;
-  std::map<std::pair<ClusterId, Bytes>,
-           std::shared_ptr<const sched::Instance>>
-      cache_;
+  std::map<Key, Entry> cache_;
+  std::list<Key> lru_;  ///< most recently used at the front
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace gridcast::exp

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "collective/backends.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::exp {
@@ -16,10 +17,15 @@ double RaceResult::hit_rate(std::size_t s) const {
              : static_cast<double>(hits[s]) / static_cast<double>(iterations);
 }
 
-RaceResult run_race(const std::vector<sched::Scheduler>& comps,
+RaceResult run_race(const collective::Backend& backend,
+                    const std::vector<sched::Scheduler>& comps,
                     const RaceConfig& cfg, ThreadPool& pool) {
   GRIDCAST_ASSERT(!comps.empty(), "no competitors");
   GRIDCAST_ASSERT(cfg.clusters >= 2, "a race needs at least two clusters");
+  if (!backend.instance_only())
+    throw InvalidInput("backend '" + std::string(backend.name()) +
+                       "' executes on a concrete grid and cannot time the "
+                       "Monte-Carlo races' sampled instances");
   cfg.ranges.validate();
 
   struct Accumulator {
@@ -49,7 +55,21 @@ RaceResult run_race(const std::vector<sched::Scheduler>& comps,
 
           Time best = std::numeric_limits<Time>::infinity();
           for (std::size_t s = 0; s < comps.size(); ++s) {
-            mk[s] = comps[s].makespan(inst);
+            const sched::SchedulerRuntimeInfo info(
+                inst, 0, comps[s].options().completion);
+            // Shape-gated entries cannot abstain per iteration without
+            // skewing the hit-rate denominator, so a refusal is a
+            // designed error here — grid sweeps are where gated entries
+            // are skipped (backend_sweep).
+            if (!comps[s].entry().can_schedule(info))
+              throw InvalidInput(
+                  "scheduler '" + std::string(comps[s].name()) +
+                  "' refused a sampled instance (iteration " +
+                  std::to_string(it) +
+                  "): the Monte-Carlo race needs entries that accept every "
+                  "draw; shape-gated entries belong in grid sweeps, which "
+                  "skip them");
+            mk[s] = backend.bcast(comps[s].entry(), info).completion;
             acc.makespan[s].add(mk[s]);
             best = std::min(best, mk[s]);
           }
@@ -82,6 +102,12 @@ RaceResult run_race(const std::vector<sched::Scheduler>& comps,
   out.global_min = total.global_min;
   out.iterations = cfg.iterations;
   return out;
+}
+
+RaceResult run_race(const std::vector<sched::Scheduler>& comps,
+                    const RaceConfig& cfg, ThreadPool& pool) {
+  const collective::PlogpBackend backend;
+  return run_race(backend, comps, cfg, pool);
 }
 
 }  // namespace gridcast::exp

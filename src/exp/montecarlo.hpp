@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "collective/backend.hpp"
 #include "exp/param_ranges.hpp"
 #include "sched/registry.hpp"
 #include "support/stats.hpp"
@@ -12,10 +13,10 @@
 /// The Monte-Carlo heuristic race behind Figs. 1–4.
 ///
 /// Per iteration: draw a Table 2 instance, run every competing strategy on
-/// it, record each makespan, and credit a "hit" to every strategy whose
-/// makespan matches the iteration's global minimum (the paper's hit-rate
-/// metric; ties credit all achievers, which is why Fig. 4's counts sum to
-/// more than the iteration count).
+/// it through a collective backend, record each completion, and credit a
+/// "hit" to every strategy whose completion matches the iteration's global
+/// minimum (the paper's hit-rate metric; ties credit all achievers, which
+/// is why Fig. 4's counts sum to more than the iteration count).
 ///
 /// Determinism: iteration i uses RNG stream (seed, i) regardless of which
 /// worker executes it, so results are bit-identical for any thread count.
@@ -42,7 +43,17 @@ struct RaceResult {
   [[nodiscard]] double hit_rate(std::size_t s) const;
 };
 
-/// Run the race.  `pool` may have zero workers (inline execution).
+/// Run the race through `backend`.  Instances are *sampled* (Table 2
+/// parameter draws, no grid behind them), so the backend must be able to
+/// time a schedule from the instance alone — `backend.instance_only()`
+/// must hold; grid-executing backends like "sim" throw InvalidInput.
+/// `pool` may have zero workers (inline execution).
+[[nodiscard]] RaceResult run_race(const collective::Backend& backend,
+                                  const std::vector<sched::Scheduler>& comps,
+                                  const RaceConfig& cfg, ThreadPool& pool);
+
+/// As above, through the analytic "plogp" backend — the paper's Figs. 1–4
+/// configuration.
 [[nodiscard]] RaceResult run_race(const std::vector<sched::Scheduler>& comps,
                                   const RaceConfig& cfg, ThreadPool& pool);
 

@@ -12,6 +12,7 @@
 #include <set>
 #include <string_view>
 
+#include "collective/backend.hpp"
 #include "io/grid_io.hpp"
 #include "support/error.hpp"
 #include "topology/grid5000.hpp"
@@ -59,10 +60,6 @@ std::vector<std::string> split_csv(const std::string& s) {
 std::string lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return s;
-}
-
-const char* mode_name(RaceMode m) {
-  return m == RaceMode::kPredicted ? "predicted" : "measured";
 }
 
 }  // namespace
@@ -116,7 +113,8 @@ std::vector<sched::Scheduler> resolve_competitors(
 
 io::BenchReport run_race_sweep(InstanceCache& cache,
                                const std::string& grid_name,
-                               const RaceSpec& spec, ThreadPool& pool) {
+                               const RaceSpec& spec, ThreadPool& pool,
+                               std::vector<std::string>* skipped) {
   using clock = std::chrono::steady_clock;
 
   if (spec.sched_names.empty())
@@ -134,16 +132,22 @@ io::BenchReport run_race_sweep(InstanceCache& cache,
   const std::vector<Bytes> sizes =
       spec.sizes.empty() ? default_size_ladder() : spec.sizes;
 
-  const SweepResult sweep =
-      spec.mode == RaceMode::kPredicted
-          ? predicted_sweep(cache, spec.root, comps, sizes, pool, spec.shard)
-          : measured_sweep(cache, spec.root, comps, sizes, {spec.jitter},
-                           spec.seed, pool, spec.shard);
+  collective::BackendOptions bopts;
+  bopts.grid = &cache.grid();
+  bopts.jitter = {spec.jitter};
+  const collective::BackendPtr backend =
+      collective::backend_registry().make(spec.backend, bopts);
+
+  const SweepResult sweep = backend_sweep(*backend, cache, spec.root, comps,
+                                          sizes, spec.seed, pool, spec.shard);
+  if (skipped != nullptr)
+    skipped->insert(skipped->end(), sweep.skipped.begin(),
+                    sweep.skipped.end());
 
   io::BenchReport r;
   r.bench = "race";
   r.grid = grid_name;
-  r.mode = mode_name(spec.mode);
+  r.mode = backend->mode_label();
   r.root = spec.root;
   r.seed = spec.seed;
   r.jitter = spec.jitter;
@@ -159,22 +163,26 @@ io::BenchReport run_race_sweep(InstanceCache& cache,
     // instances come pre-derived from the cache, the loop runs
     // single-threaded, and we keep the *minimum* of several passes — the
     // standard robust estimator — so the number is comparable run over
-    // run and across CI machines.
+    // run and across CI machines.  Series are matched by name: the
+    // backend's baseline row (which schedules nothing) and any gated-out
+    // competitor have no wall time.
     constexpr int kWallPasses = 10;
     for (const Bytes m : sizes) (void)cache.get(spec.root, m);
-    // In measured mode row 0 is DefaultLAM, which schedules nothing.
-    const std::size_t off = spec.mode == RaceMode::kMeasured ? 1 : 0;
-    for (std::size_t c = 0; c < comps.size(); ++c) {
+    for (const auto& comp : comps) {
+      io::BenchSeries* series = nullptr;
+      for (auto& s : r.series)
+        if (s.name == comp.name()) series = &s;
+      if (series == nullptr) continue;  // gated out
       double best = std::numeric_limits<double>::infinity();
       for (int pass = -1; pass < kWallPasses; ++pass) {  // -1 = warmup
         const auto t0 = clock::now();
         for (const Bytes m : sizes)
-          (void)comps[c].makespan(cache.get(spec.root, m));
+          (void)comp.makespan(*cache.get(spec.root, m));
         const double dt =
             std::chrono::duration<double>(clock::now() - t0).count();
         if (pass >= 0) best = std::min(best, dt);
       }
-      r.series[c + off].wall_time_s = best;
+      series->wall_time_s = best;
     }
   }
   return r;
@@ -305,15 +313,15 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
     } else if (key == "--root") {
       cli.spec.root =
           static_cast<ClusterId>(parse_u64(value_of(arg), "--root"));
-    } else if (key == "--mode") {
-      const std::string v = lower(value_of(arg));
-      if (v == "predicted")
-        cli.spec.mode = RaceMode::kPredicted;
-      else if (v == "measured")
-        cli.spec.mode = RaceMode::kMeasured;
-      else
-        throw InvalidInput("--mode must be 'predicted' or 'measured', got '" +
-                           value_of(arg) + "'");
+    } else if (key == "--backend" || key == "--mode") {
+      // --mode is the legacy spelling: "predicted"/"measured" are
+      // registered aliases of the "plogp"/"sim" backends, so both flags
+      // are one code path into the backend registry.  resolve() throws
+      // at parse time for typos, listing what is registered, and stores
+      // the canonical name.
+      cli.spec.backend = collective::backend_registry().resolve(value_of(arg));
+    } else if (arg == "--list-backends") {
+      cli.action = RaceCli::Action::kListBackends;
     } else if (key == "--completion") {
       const std::string v = lower(value_of(arg));
       if (v == "eager")
@@ -392,6 +400,11 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
       if (cli.spec.wall && cli.spec.shard.shards > 1)
         throw InvalidInput("--wall cannot be combined with --shards");
       break;
+    case RaceCli::Action::kListBackends:
+      if (!positionals.empty())
+        throw InvalidInput("unexpected argument '" + positionals.front() +
+                           "'");
+      break;
   }
   return cli;
 }
@@ -441,15 +454,36 @@ int run_race_cli(const RaceCli& cli, std::ostream& out, std::ostream& err) {
         spec.sched_names = sched::registry().names();
       InstanceCache cache(grid);
       ThreadPool pool(cli.threads);
+      std::vector<std::string> skipped;
       const io::BenchReport report =
-          run_race_sweep(cache, grid_name, spec, pool);
+          run_race_sweep(cache, grid_name, spec, pool, &skipped);
       write_report(report, cli.out_path, out);
       err << "raced " << report.series.size() << " series x "
-          << report.sizes.size() << " sizes (" << report.mode << ", shard "
-          << report.shard << "/" << report.shards << ", "
-          << cache.misses() << " instances derived)";
+          << report.sizes.size() << " sizes (backend " << spec.backend
+          << ", " << report.mode << ", shard " << report.shard << "/"
+          << report.shards << ", " << cache.misses()
+          << " instances derived)";
       if (!cli.out_path.empty()) err << " -> " << cli.out_path;
       err << "\n";
+      if (!skipped.empty()) {
+        err << "skipped (can_schedule refused this grid):";
+        for (const auto& name : skipped) err << " " << name;
+        err << "\n";
+      }
+      return 0;
+    }
+    case RaceCli::Action::kListBackends: {
+      auto& reg = collective::backend_registry();
+      for (const auto& name : reg.names()) {
+        out << name;
+        const auto aliases = reg.aliases_of(name);
+        if (!aliases.empty()) {
+          out << " (aliases:";
+          for (const auto& a : aliases) out << " " << a;
+          out << ")";
+        }
+        out << " - " << reg.description_of(name) << "\n";
+      }
       return 0;
     }
     case RaceCli::Action::kMerge: {
@@ -486,7 +520,7 @@ int run_race_cli(const RaceCli& cli, std::ostream& out, std::ostream& err) {
 std::string race_cli_usage() {
   return
       "usage:\n"
-      "  gridcast_race [--sched=a,b,c|all] [--mode=predicted|measured]\n"
+      "  gridcast_race [--sched=a,b,c|all] [--backend=plogp|sim]\n"
       "                [--grid=grid5000|<file>] [--root=N]\n"
       "                [--sizes=default|256K,1M,...] [--completion=eager|"
       "after-last-send]\n"
@@ -494,7 +528,9 @@ std::string race_cli_usage() {
       "                [--shards=N --shard=k | --shard=k/N] [--out=FILE]\n"
       "  gridcast_race --merge out.json shard0.json shard1.json ...\n"
       "  gridcast_race --check=current.json --baseline=baseline.json\n"
-      "                [--rtol=1e-6] [--wall-tol=10]\n";
+      "                [--rtol=1e-6] [--wall-tol=10]\n"
+      "  gridcast_race --list-backends\n"
+      "(--mode=predicted|measured remains as an alias of --backend.)\n";
 }
 
 }  // namespace gridcast::exp

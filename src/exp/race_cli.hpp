@@ -15,24 +15,27 @@
 ///
 /// One engine replaces the per-figure bench binaries' duplicated sweep
 /// logic: any list of registered scheduler names races over a message-size
-/// ladder on any grid, predicted (pLogP model) or measured (discrete-event
-/// simulator), optionally sharded across processes.  Everything lives in
-/// the library — the tool is a thin `main` — so argument parsing, shard
-/// partitioning, merging and the baseline gate are unit-testable.
+/// ladder on any grid, through any registered collective backend —
+/// `--backend=plogp` (analytic model) or `--backend=sim` (discrete-event
+/// simulator) replace the old predicted/measured mode fork, whose
+/// spellings survive as backend aliases — optionally sharded across
+/// processes.  Everything lives in the library — the tool is a thin
+/// `main` — so argument parsing, shard partitioning, merging and the
+/// baseline gate are unit-testable.
 namespace gridcast::exp {
 
-enum class RaceMode : std::uint8_t { kPredicted, kMeasured };
-
-/// What to race.  `sched_names` are registry names (canonical or alias);
-/// empty `sizes` means `default_size_ladder()`.
+/// What to race.  `sched_names` are scheduler-registry names (canonical or
+/// alias); empty `sizes` means `default_size_ladder()`; `backend` is a
+/// backend-registry name ("plogp"/"sim", or the legacy "predicted"/
+/// "measured" aliases).
 struct RaceSpec {
   std::vector<std::string> sched_names;
   std::vector<Bytes> sizes;
   ClusterId root = 0;
-  RaceMode mode = RaceMode::kPredicted;
+  std::string backend = "plogp";
   sched::CompletionModel completion = sched::CompletionModel::kEager;
-  double jitter = 0.05;     ///< measured mode only
-  std::uint64_t seed = 1;   ///< measured mode only
+  double jitter = 0.05;     ///< sim backend only
+  std::uint64_t seed = 1;   ///< non-deterministic backends only
   ShardSpec shard = {};
   /// Also time each heuristic's scheduling cost (wall_time_s, the paper's
   /// Section 7 complexity concern).  Unsharded runs only: wall time is
@@ -45,14 +48,15 @@ struct RaceSpec {
 [[nodiscard]] std::vector<sched::Scheduler> resolve_competitors(
     const std::vector<std::string>& names, sched::HeuristicOptions opts);
 
-/// Race `spec` over the cache's grid.  Only cells owned by `spec.shard`
-/// are computed (the rest serialise as null); `grid_name` is recorded in
-/// the report so merges and baseline comparisons can refuse mismatched
-/// inputs.
-[[nodiscard]] io::BenchReport run_race_sweep(InstanceCache& cache,
-                                             const std::string& grid_name,
-                                             const RaceSpec& spec,
-                                             ThreadPool& pool);
+/// Race `spec` over the cache's grid through the backend `spec.backend`
+/// names.  Only cells owned by `spec.shard` are computed (the rest
+/// serialise as null); `grid_name` is recorded in the report so merges and
+/// baseline comparisons can refuse mismatched inputs.  Schedulers gated
+/// out by `can_schedule` get no series; their names are appended to
+/// `skipped` when given.
+[[nodiscard]] io::BenchReport run_race_sweep(
+    InstanceCache& cache, const std::string& grid_name, const RaceSpec& spec,
+    ThreadPool& pool, std::vector<std::string>* skipped = nullptr);
 
 /// Recombine one report per shard (any order) into the report an
 /// unsharded run would have produced — byte-identical once serialised.
@@ -63,7 +67,7 @@ struct RaceSpec {
 
 /// One parsed `gridcast_race` invocation.
 struct RaceCli {
-  enum class Action : std::uint8_t { kRun, kMerge, kCheck };
+  enum class Action : std::uint8_t { kRun, kMerge, kCheck, kListBackends };
   Action action = Action::kRun;
 
   // kRun

@@ -2,8 +2,7 @@
 
 #include <limits>
 
-#include "collective/bcast.hpp"
-#include "sched/evaluate.hpp"
+#include "collective/backends.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::exp {
@@ -48,43 +47,107 @@ std::uint64_t measured_cell_seed(std::uint64_t seed, std::size_t size_index,
   return z ^ (z >> 31);
 }
 
-SweepResult predicted_sweep(InstanceCache& cache, ClusterId root,
-                            const std::vector<sched::Scheduler>& comps,
-                            std::span<const Bytes> sizes, ThreadPool& pool,
-                            ShardSpec shard) {
+SweepResult backend_sweep(const collective::Backend& backend,
+                          InstanceCache& cache, ClusterId root,
+                          const std::vector<sched::Scheduler>& comps,
+                          std::span<const Bytes> sizes, std::uint64_t seed,
+                          ThreadPool& pool, ShardSpec shard) {
   GRIDCAST_ASSERT(!comps.empty(), "no competitors");
   GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
   shard.validate();
 
-  const std::size_t n_series = comps.size();
+  // Derive every size's instance up front in parallel: the gate below
+  // must see all of them so every shard computes the same verdict (a
+  // series is either fully present or absent).  This costs a sharded run
+  // the full ladder's derivations per process where the cell loop alone
+  // would pay ~1/shards of them — accepted: one derivation is O(clusters²)
+  // gap evaluations, orders of magnitude below a single simulated cell,
+  // and the cells are what sharding exists to distribute.
+  pool.parallel_for(sizes.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) (void)cache.get(root, sizes[i]);
+  });
+
+  // Gate: a competitor races only if it can schedule *every* instance of
+  // the ladder, so a series is either fully present or absent and shard
+  // merging stays rectangular.  Grid-shape-specialised entries (LAN-only,
+  // star-WAN) drop out here on grids they were not built for — skipped,
+  // not raced.  Every shard computes the same gate (derivation is
+  // deterministic), so the cell partition below agrees across shards.
   SweepResult out;
-  out.sizes.assign(sizes.begin(), sizes.end());
-  out.series.resize(n_series);
-  for (std::size_t s = 0; s < n_series; ++s) {
-    out.series[s].name = comps[s].name();
-    out.series[s].completion.assign(sizes.size(), kUnowned);
+  std::vector<const sched::Scheduler*> raced;
+  raced.reserve(comps.size());
+  for (const auto& comp : comps) {
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < sizes.size(); ++i) {
+      const InstancePtr inst = cache.get(root, sizes[i]);
+      const sched::SchedulerRuntimeInfo info(*inst, sizes[i],
+                                             comp.options().completion);
+      ok = comp.entry().can_schedule(info);
+    }
+    if (ok)
+      raced.push_back(&comp);
+    else
+      out.skipped.emplace_back(comp.name());
+  }
+  if (raced.empty()) {
+    std::string who;
+    for (const auto& name : out.skipped) {
+      if (!who.empty()) who += ", ";
+      who += name;
+    }
+    throw InvalidInput(
+        "no raceable schedulers: can_schedule refused every competitor on "
+        "this grid (" + who + ")");
   }
 
-  // One task per (size, series) cell; the O(clusters^2) instance
-  // derivation happens once per size in the cache.  Cells are written by
-  // index, so any worker count produces the same result, and foreign
-  // shards' cells stay NaN.
+  const std::string_view baseline = backend.baseline_series();
+  const std::size_t base = baseline.empty() ? 0 : 1;
+  const std::size_t n_series = raced.size() + base;
+  out.sizes.assign(sizes.begin(), sizes.end());
+  out.series.resize(n_series);
+  if (base != 0) out.series[0].name = baseline;
+  for (std::size_t s = 0; s < raced.size(); ++s)
+    out.series[s + base].name = raced[s]->name();
+  for (auto& series : out.series)
+    series.completion.assign(sizes.size(), kUnowned);
+
+  // One task per (size, series) cell, written by index, so any worker
+  // count produces the same result and foreign shards' cells stay NaN.
+  // Each cell's seed derives from (size index, series name) — never from
+  // scheduling order, the competitor count, or the worker count — so a
+  // series' results are invariant under competitor-set growth.
   pool.parallel_for(
       sizes.size() * n_series, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t cell = lo; cell < hi; ++cell) {
           if (!shard.owns(cell)) continue;
           const std::size_t i = cell / n_series;
           const std::size_t s = cell % n_series;
-          const sched::Instance& inst = cache.get(root, sizes[i]);
-          const sched::SchedulerRuntimeInfo info(
-              inst, sizes[i], comps[s].options().completion);
-          out.series[s].completion[i] =
-              sched::evaluate_order(inst, comps[s].order(info),
-                                    info.completion())
-                  .makespan;
+          const Bytes m = sizes[i];
+          const std::uint64_t cell_seed =
+              measured_cell_seed(seed, i, out.series[s].name);
+          if (base != 0 && s == 0) {
+            out.series[0].completion[i] =
+                backend.baseline_bcast(root, m, cell_seed).completion;
+          } else {
+            const sched::Scheduler& comp = *raced[s - base];
+            const InstancePtr inst = cache.get(root, m);
+            const sched::SchedulerRuntimeInfo info(*inst, m,
+                                                   comp.options().completion);
+            out.series[s].completion[i] =
+                backend.bcast(comp.entry(), info, cell_seed).completion;
+          }
         }
       });
   return out;
+}
+
+SweepResult predicted_sweep(InstanceCache& cache, ClusterId root,
+                            const std::vector<sched::Scheduler>& comps,
+                            std::span<const Bytes> sizes, ThreadPool& pool,
+                            ShardSpec shard) {
+  const collective::PlogpBackend backend;
+  return backend_sweep(backend, cache, root, comps, sizes, /*seed=*/0, pool,
+                       shard);
 }
 
 SweepResult predicted_sweep(const topology::Grid& grid, ClusterId root,
@@ -106,48 +169,8 @@ SweepResult measured_sweep(InstanceCache& cache, ClusterId root,
                            std::span<const Bytes> sizes,
                            sim::JitterConfig jitter, std::uint64_t seed,
                            ThreadPool& pool, ShardSpec shard) {
-  GRIDCAST_ASSERT(!comps.empty(), "no competitors");
-  GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
-  shard.validate();
-
-  const topology::Grid& grid = cache.grid();
-  const std::size_t n_series = comps.size() + 1;
-  SweepResult out;
-  out.sizes.assign(sizes.begin(), sizes.end());
-  out.series.resize(n_series);
-  out.series[0].name = "DefaultLAM";
-  for (std::size_t s = 0; s < comps.size(); ++s)
-    out.series[s + 1].name = comps[s].name();
-  for (auto& series : out.series)
-    series.completion.assign(sizes.size(), kUnowned);
-
-  // One task per (size, series) cell; each simulates on its own Network
-  // whose seed is derived from (size index, series name) — never from
-  // scheduling order, the competitor count, or the worker count — so a
-  // series' results are invariant under competitor-set growth.
-  pool.parallel_for(
-      sizes.size() * n_series, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t cell = lo; cell < hi; ++cell) {
-          if (!shard.owns(cell)) continue;
-          const std::size_t i = cell / n_series;
-          const std::size_t s = cell % n_series;
-          const Bytes m = sizes[i];
-          sim::Network net(
-              grid, jitter,
-              measured_cell_seed(seed, i, out.series[s].name));
-          if (s == 0) {
-            out.series[0].completion[i] =
-                collective::run_grid_unaware_binomial(net, root, m).completion;
-          } else {
-            const sched::SchedulerRuntimeInfo info(cache.get(root, m), m);
-            out.series[s].completion[i] =
-                collective::run_hierarchical_bcast(net, comps[s - 1].entry(),
-                                                   info)
-                    .completion;
-          }
-        }
-      });
-  return out;
+  const collective::SimBackend backend(cache.grid(), jitter);
+  return backend_sweep(backend, cache, root, comps, sizes, seed, pool, shard);
 }
 
 SweepResult measured_sweep(const topology::Grid& grid, ClusterId root,

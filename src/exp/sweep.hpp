@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "collective/backend.hpp"
 #include "exp/instance_cache.hpp"
 #include "sched/registry.hpp"
 #include "sim/network.hpp"
@@ -14,11 +15,14 @@
 
 /// Message-size sweeps over a concrete grid (Figs. 5 and 6).
 ///
-/// "Predicted" numbers come from the pLogP cost model alone (the Fig. 5
-/// curves); "measured" numbers come from executing every point-to-point
-/// message of the full two-level broadcast on the discrete-event simulator
-/// (the Fig. 6 substitute, DESIGN.md substitution table), including the
-/// grid-unaware binomial baseline the paper labels "Default LAM".
+/// One engine — `backend_sweep` — races any competitor list over a size
+/// ladder through a `collective::Backend`.  The backend decides what a
+/// completion *is*: the "plogp" backend times the schedule analytically
+/// (the Fig. 5 curves), the "sim" backend executes every point-to-point
+/// message on the discrete-event simulator (the Fig. 6 substitute,
+/// DESIGN.md substitution table) and contributes the grid-unaware binomial
+/// baseline the paper labels "Default LAM".  The legacy predicted/measured
+/// entry points remain as thin wrappers over the two built-in backends.
 namespace gridcast::exp {
 
 /// One strategy's series over the sweep sizes.
@@ -30,6 +34,10 @@ struct SweepSeries {
 struct SweepResult {
   std::vector<Bytes> sizes;
   std::vector<SweepSeries> series;
+  /// Competitors whose `can_schedule` refused one of the sweep's instances
+  /// (grid-shape-specialised entries on the wrong grid shape): skipped
+  /// rather than raced, so they have no series.
+  std::vector<std::string> skipped;
 };
 
 /// Process-level partition of the (size × series) cell grid.  Cell
@@ -52,19 +60,31 @@ struct ShardSpec {
 /// (16 points).
 [[nodiscard]] std::vector<Bytes> default_size_ladder();
 
-/// Deterministic simulation seed for one measured-sweep cell, mixed from
-/// the sweep seed, the *size index* and the *series name* (FNV-1a) — never
-/// from the competitor count, so adding a competitor cannot reseed the
-/// series that were already there.
+/// Deterministic simulation seed for one sweep cell, mixed from the sweep
+/// seed, the *size index* and the *series name* (FNV-1a) — never from the
+/// competitor count, so adding a competitor cannot reseed the series that
+/// were already there.  Deterministic backends ignore it.
 [[nodiscard]] std::uint64_t measured_cell_seed(std::uint64_t seed,
                                                std::size_t size_index,
                                                std::string_view series_name);
 
-/// Model-predicted completion per size and scheduler (Fig. 5).  Cells are
-/// dispatched across `pool` (results are identical for any worker count);
-/// instances are derived once per size through `cache`.  The overloads
-/// without a cache build a private one; the overload without a pool runs
-/// inline.
+/// Race `comps` over `sizes` through `backend`: completion per (size,
+/// series) cell, preceded by the backend's baseline comparator series when
+/// it has one.  Cells are dispatched across `pool` (results are identical
+/// for any worker count); instances are derived once per size through
+/// `cache` (whose grid must be the one `backend` executes on); per-cell
+/// seeds derive from `seed` via `measured_cell_seed`.  Competitors whose
+/// `can_schedule` refuses any of the sweep's instances are skipped rather
+/// than raced (reported in `SweepResult::skipped`); when every competitor
+/// is skipped the sweep throws InvalidInput.
+[[nodiscard]] SweepResult backend_sweep(
+    const collective::Backend& backend, InstanceCache& cache, ClusterId root,
+    const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
+    std::uint64_t seed, ThreadPool& pool, ShardSpec shard = {});
+
+/// Model-predicted completion per size and scheduler (Fig. 5) — the
+/// "plogp" backend.  The overloads without a cache build a private one;
+/// the overload without a pool runs inline.
 [[nodiscard]] SweepResult predicted_sweep(
     InstanceCache& cache, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
@@ -78,10 +98,11 @@ struct ShardSpec {
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes);
 
 /// Simulator-measured completion per size and scheduler, plus the
-/// "DefaultLAM" grid-unaware binomial series (Fig. 6).  `jitter` perturbs
-/// per-message gap/latency; `seed` drives it.  Every (size, series) cell
-/// simulates on its own Network seeded by `measured_cell_seed`, so the
-/// result is identical for any worker count *and* any competitor set.
+/// "DefaultLAM" grid-unaware binomial series (Fig. 6) — the "sim" backend.
+/// `jitter` perturbs per-message gap/latency; `seed` drives it.  Every
+/// (size, series) cell simulates on its own Network seeded by
+/// `measured_cell_seed`, so the result is identical for any worker count
+/// *and* any competitor set.
 [[nodiscard]] SweepResult measured_sweep(
     InstanceCache& cache, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,

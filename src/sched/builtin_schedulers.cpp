@@ -1,5 +1,7 @@
 #include "sched/builtin_schedulers.hpp"
 
+#include <algorithm>
+
 #include "sched/mixed.hpp"
 #include "sched/registry.hpp"
 #include "support/error.hpp"
@@ -49,6 +51,66 @@ std::string EcefScheduler::describe_options() const {
 
 SendOrder BottomUpScheduler::order(const SchedulerRuntimeInfo& info) const {
   return bottomup_order(info.instance(), opts_.bottomup);
+}
+
+SendOrder LanFlatScheduler::order(const SchedulerRuntimeInfo& info) const {
+  return flat_tree_order(info.instance());
+}
+
+bool LanFlatScheduler::can_schedule(const SchedulerRuntimeInfo& info) const {
+  // The cached lower bound already contains each cluster's cheapest
+  // incoming transfer; when it stays within `lan_slack_` of the internal
+  // broadcasts alone, the grid is LAN-homogeneous enough for flat order.
+  return info.clusters() >= 2 &&
+         info.lower_bound() <= lan_slack_ * info.max_internal();
+}
+
+std::string LanFlatScheduler::describe_options() const {
+  return "gate=lower_bound<=" + std::to_string(lan_slack_) + "*max_T";
+}
+
+SendOrder StarWanScheduler::order(const SchedulerRuntimeInfo& info) const {
+  const Instance& inst = info.instance();
+  const ClusterId root = inst.root();
+  std::vector<ClusterId> spokes;
+  spokes.reserve(info.clusters() - 1);
+  for (ClusterId j = 0; j < info.clusters(); ++j)
+    if (j != root) spokes.push_back(j);
+  // Worst direct path first: the spoke whose delivery-plus-internal time
+  // is largest cannot afford to wait behind the root's earlier injections.
+  std::sort(spokes.begin(), spokes.end(), [&](ClusterId a, ClusterId b) {
+    const Time ca = inst.transfer(root, a) + inst.T(a);
+    const Time cb = inst.transfer(root, b) + inst.T(b);
+    if (ca != cb) return ca > cb;
+    return a < b;  // deterministic tie-break
+  });
+  SendOrder order;
+  order.reserve(spokes.size());
+  for (const ClusterId j : spokes) order.push_back({root, j});
+  return order;
+}
+
+bool StarWanScheduler::can_schedule(const SchedulerRuntimeInfo& info) const {
+  if (info.clusters() < 2) return false;
+  // A LAN-regime grid has no star to exploit; leave it to LAN-Flat (the
+  // cached lower bound is the cheap screen before the O(n²) shape scan).
+  if (info.lower_bound() <=
+      LanFlatScheduler::kDefaultLanSlack * info.max_internal())
+    return false;
+  // Hub shape: the direct root edge is every spoke's cheapest entry.
+  const Instance& inst = info.instance();
+  const ClusterId root = inst.root();
+  for (ClusterId j = 0; j < info.clusters(); ++j) {
+    if (j == root) continue;
+    const Time direct = inst.transfer(root, j);
+    for (ClusterId i = 0; i < info.clusters(); ++i)
+      if (i != j && inst.transfer(i, j) < direct) return false;
+  }
+  return true;
+}
+
+std::string StarWanScheduler::describe_options() const {
+  return "gate=hub-shape&WAN-regime";
 }
 
 std::string BottomUpScheduler::describe_options() const {
@@ -104,6 +166,21 @@ void register_builtin_schedulers(SchedulerRegistry& reg) {
         return std::make_shared<const MixedStrategy>(10, o);
       },
       {"mixed"});
+  // Grid-shape specialists, gated by can_schedule: race harnesses skip
+  // them on grids outside their shape instead of racing them, so they are
+  // safe to include in `--sched=all`.
+  reg.add(
+      "LAN-Flat",
+      [](const HeuristicOptions& o) {
+        return std::make_shared<const LanFlatScheduler>(o);
+      },
+      {"lan-flat", "lanflat"});
+  reg.add(
+      "Star-WAN",
+      [](const HeuristicOptions& o) {
+        return std::make_shared<const StarWanScheduler>(o);
+      },
+      {"star-wan", "starwan"});
 }
 
 }  // namespace gridcast::sched

@@ -80,8 +80,12 @@ class SchedulerEntry {
       const SchedulerRuntimeInfo& info) const = 0;
 
   /// Whether this entry can produce a schedule for the instance.  The
-  /// default accepts any instance with at least two clusters; subclasses
-  /// refine (e.g. a WAN-only heuristic rejecting single-cluster grids).
+  /// default accepts any instance with at least two clusters;
+  /// grid-shape-specialised subclasses refine it over the info's cached
+  /// aggregates (LAN-Flat and Star-WAN gate on `lower_bound()` vs
+  /// `max_internal()`).  Race harnesses *skip* a refusing entry rather
+  /// than race it (exp::backend_sweep), so specialised entries are safe
+  /// to register globally.
   [[nodiscard]] virtual bool can_schedule(
       const SchedulerRuntimeInfo& info) const;
 

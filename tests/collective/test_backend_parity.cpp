@@ -1,0 +1,209 @@
+// Backend parity: the analytic "plogp" backend and the executing "sim"
+// backend are two views of the same cost model, and the closed-form pLogP
+// algorithm predictions agree with their executed counterparts.  This is
+// the invariant that lets `--backend=plogp` forecast `--backend=sim`
+// (Fig. 5 forecasting Fig. 6), and it is what makes the backend swap in
+// the sweep harness a semantics-preserving refactor.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "collective/backends.hpp"
+#include "collective/bcast.hpp"
+#include "exp/race_cli.hpp"
+#include "plogp/collective_predict.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridcast {
+namespace {
+
+plogp::Params lan_params(Time L, double bw, Time overhead) {
+  plogp::Params p;
+  p.L = L;
+  p.g = plogp::GapFunction::affine(us(10), bw);
+  // os must stay under g(m) (pLogP invariant); it is charged by neither
+  // side here, so zero keeps the parity algebra clean.
+  p.os = plogp::GapFunction::constant(0.0);
+  p.orecv = plogp::GapFunction::constant(overhead);
+  return p;
+}
+
+topology::Grid one_cluster_grid(std::uint32_t nodes, Time overhead) {
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("c0", nodes, lan_params(us(50), 1e8, overhead));
+  topology::Grid grid(std::move(cs));
+  grid.validate();
+  return grid;
+}
+
+std::vector<NodeId> all_ranks(std::uint32_t nodes) {
+  std::vector<NodeId> ranks(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) ranks[i] = i;
+  return ranks;
+}
+
+// ------------------------- closed-form algorithms vs executed algorithms
+
+TEST(PrimitiveParity, FlatBcastMatchesClosedFormExactly) {
+  // Flat tree: both sides charge (n-1)·g + L + or for the last rank, so
+  // the executed run must hit the closed form to float precision — even
+  // with non-zero overheads.
+  for (const std::uint32_t nodes : {2u, 5u, 16u}) {
+    const topology::Grid grid = one_cluster_grid(nodes, us(20));
+    sim::Network net(grid, {}, 1);
+    const Time run =
+        collective::run_flat_bcast(net, all_ranks(nodes), MiB(1)).completion;
+    const Time predicted =
+        plogp::predict_flat_bcast(grid.cluster(0).intra(), nodes, MiB(1));
+    EXPECT_NEAR(run, predicted, 1e-9) << nodes << " nodes";
+  }
+}
+
+TEST(PrimitiveParity, ChainBcastMatchesClosedFormWithZeroOverheads) {
+  // Chain: the closed form charges the receive overhead once at the end;
+  // the executor pays it per store-and-forward hop.  With zero overheads
+  // the two coincide exactly; with overheads they diverge by exactly
+  // (n-2)·or — assert both so the residual stays understood.
+  const Bytes m = KiB(512);
+  for (const std::uint32_t nodes : {2u, 4u, 9u}) {
+    const topology::Grid bare = one_cluster_grid(nodes, 0.0);
+    sim::Network net(bare, {}, 1);
+    const Time run =
+        collective::run_chain_bcast(net, all_ranks(nodes), m).completion;
+    const Time predicted =
+        plogp::predict_chain_bcast(bare.cluster(0).intra(), nodes, m);
+    EXPECT_NEAR(run, predicted, 1e-9) << nodes << " nodes";
+  }
+  const std::uint32_t nodes = 6;
+  const Time overhead = us(40);
+  const topology::Grid grid = one_cluster_grid(nodes, overhead);
+  sim::Network net(grid, {}, 1);
+  const Time run =
+      collective::run_chain_bcast(net, all_ranks(nodes), m).completion;
+  const Time predicted =
+      plogp::predict_chain_bcast(grid.cluster(0).intra(), nodes, m);
+  EXPECT_NEAR(run - predicted, (nodes - 2) * overhead, 1e-9);
+}
+
+TEST(PrimitiveParity, BinomialBcastMatchesClosedFormExactly) {
+  // The executor's recursive split mirrors predict_binomial_bcast's; both
+  // charge g + L + or per hop, so agreement is exact even with overheads.
+  for (const std::uint32_t nodes : {2u, 7u, 32u}) {
+    const topology::Grid grid = one_cluster_grid(nodes, us(20));
+    sim::Network net(grid, {}, 1);
+    const Time run =
+        collective::run_binomial_bcast(net, all_ranks(nodes), MiB(2))
+            .completion;
+    const Time predicted =
+        plogp::predict_binomial_bcast(grid.cluster(0).intra(), nodes, MiB(2));
+    EXPECT_NEAR(run, predicted, 1e-9) << nodes << " nodes";
+  }
+}
+
+// ----------------------------------- backend-level completions agreement
+
+plogp::Params bare(Time L, Time g0, double bw) {
+  plogp::Params p;
+  p.L = L;
+  p.g = plogp::GapFunction::affine(g0, bw);
+  p.os = plogp::GapFunction::constant(0.0);
+  p.orecv = plogp::GapFunction::constant(0.0);
+  return p;
+}
+
+topology::Grid random_bare_grid(std::uint64_t seed, std::uint32_t clusters) {
+  Rng rng = Rng::stream(seed, 0xFACE);
+  std::vector<topology::Cluster> cs;
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    const auto size = static_cast<std::uint32_t>(rng.between(1, 8));
+    cs.emplace_back("c" + std::to_string(c), size,
+                    bare(rng.uniform(us(20), us(100)), us(10),
+                         rng.uniform(5e7, 2e8)));
+  }
+  topology::Grid grid(std::move(cs));
+  for (ClusterId i = 0; i < clusters; ++i)
+    for (ClusterId j = static_cast<ClusterId>(i + 1); j < clusters; ++j)
+      grid.set_link_symmetric(
+          i, j,
+          bare(rng.uniform(ms(1), ms(20)), us(100), rng.uniform(1e6, 1e7)));
+  grid.validate();
+  return grid;
+}
+
+TEST(BackendParity, ZeroOverheadCompletionsAgreeExactly) {
+  // With zero-overhead parameters, no jitter and the after-last-send
+  // completion model (the executor's NIC semantics), predictor and
+  // executor are the same number.
+  sched::HeuristicOptions opts;
+  opts.completion = sched::CompletionModel::kAfterLastSend;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const topology::Grid grid = random_bare_grid(seed, 5);
+    const collective::SimBackend sim(grid);
+    const collective::PlogpBackend plogp;
+    const auto inst = sched::Instance::from_grid(grid, 0, MiB(1));
+    for (const std::string_view name : {"FlatTree", "ECEF-LAT", "BottomUp"}) {
+      const auto entry = sched::registry().make(name, opts);
+      const sched::SchedulerRuntimeInfo info(inst, MiB(1), opts.completion);
+      EXPECT_NEAR(sim.bcast(*entry, info, seed).completion,
+                  plogp.bcast(*entry, info, seed).completion, 1e-9)
+          << name << " on seed " << seed;
+    }
+  }
+}
+
+TEST(BackendParity, Grid5000CompletionsAgreeWithinOverheadResidual) {
+  // On the real testbed parameters the executor additionally pays receive
+  // overheads the scheduling model omits (by design — see sim/network.hpp),
+  // so the backends agree within a small relative residual, not exactly.
+  sched::HeuristicOptions opts;
+  opts.completion = sched::CompletionModel::kAfterLastSend;
+  const topology::Grid grid = topology::grid5000_testbed();
+  const collective::SimBackend sim(grid);
+  const collective::PlogpBackend plogp;
+  for (const Bytes m : {KiB(256), MiB(1), MiB(4)}) {
+    const auto inst = sched::Instance::from_grid(grid, 0, m);
+    for (const std::string_view name : {"FlatTree", "ECEF-LAT"}) {
+      const auto entry = sched::registry().make(name, opts);
+      const sched::SchedulerRuntimeInfo info(inst, m, opts.completion);
+      const Time measured = sim.bcast(*entry, info, 1).completion;
+      const Time predicted = plogp.bcast(*entry, info, 1).completion;
+      EXPECT_NEAR(measured, predicted, 0.05 * predicted)
+          << name << " at " << m << " bytes";
+    }
+  }
+}
+
+// --------------------------------------- report-level byte compatibility
+
+std::string run_cli_to_string(const std::vector<std::string>& args) {
+  const exp::RaceCli cli = exp::parse_race_cli(args);
+  std::ostringstream out, err;
+  EXPECT_EQ(exp::run_race_cli(cli, out, err), 0);
+  return out.str();
+}
+
+TEST(BackendParity, BackendFlagReportsAreByteIdenticalToModeFlagReports) {
+  const std::vector<std::string> common = {
+      "--sched=FlatTree,ECEF-LAT", "--sizes=256K,1M", "--seed=5",
+      "--jitter=0.1", "--root=1"};
+  auto with = [&](const std::string& flag) {
+    std::vector<std::string> args = common;
+    args.push_back(flag);
+    return run_cli_to_string(args);
+  };
+  // The old mode spellings and the new backend names are one code path.
+  EXPECT_EQ(with("--backend=sim"), with("--mode=measured"));
+  EXPECT_EQ(with("--backend=plogp"), with("--mode=predicted"));
+  // The report's mode field stays the legacy vocabulary.
+  EXPECT_NE(with("--backend=sim").find("\"mode\": \"measured\""),
+            std::string::npos);
+  EXPECT_NE(with("--backend=plogp").find("\"mode\": \"predicted\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridcast

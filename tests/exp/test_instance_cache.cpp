@@ -15,9 +15,9 @@ TEST(InstanceCache, DerivesOncePerKey) {
   InstanceCache cache(grid);
   EXPECT_EQ(cache.entries(), 0u);
 
-  const sched::Instance& a = cache.get(0, MiB(1));
-  const sched::Instance& b = cache.get(0, MiB(1));
-  EXPECT_EQ(&a, &b);  // same object, not a re-derivation
+  const InstancePtr a = cache.get(0, MiB(1));
+  const InstancePtr b = cache.get(0, MiB(1));
+  EXPECT_EQ(a.get(), b.get());  // same object, not a re-derivation
   EXPECT_EQ(cache.entries(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
@@ -31,47 +31,135 @@ TEST(InstanceCache, DerivesOncePerKey) {
 TEST(InstanceCache, MatchesDirectDerivation) {
   const auto grid = topology::grid5000_testbed();
   InstanceCache cache(grid);
-  const sched::Instance& cached = cache.get(2, MiB(4));
+  const InstancePtr cached = cache.get(2, MiB(4));
   const sched::Instance direct = sched::Instance::from_grid(grid, 2, MiB(4));
-  ASSERT_EQ(cached.clusters(), direct.clusters());
-  EXPECT_EQ(cached.root(), direct.root());
-  for (ClusterId i = 0; i < cached.clusters(); ++i) {
-    EXPECT_DOUBLE_EQ(cached.T(i), direct.T(i));
-    for (ClusterId j = 0; j < cached.clusters(); ++j) {
+  ASSERT_EQ(cached->clusters(), direct.clusters());
+  EXPECT_EQ(cached->root(), direct.root());
+  for (ClusterId i = 0; i < cached->clusters(); ++i) {
+    EXPECT_DOUBLE_EQ(cached->T(i), direct.T(i));
+    for (ClusterId j = 0; j < cached->clusters(); ++j) {
       if (i == j) continue;
-      EXPECT_DOUBLE_EQ(cached.g(i, j), direct.g(i, j));
-      EXPECT_DOUBLE_EQ(cached.L(i, j), direct.L(i, j));
+      EXPECT_DOUBLE_EQ(cached->g(i, j), direct.g(i, j));
+      EXPECT_DOUBLE_EQ(cached->L(i, j), direct.L(i, j));
     }
   }
 }
 
-TEST(InstanceCache, ReferencesStayValidAcrossGrowth) {
+TEST(InstanceCache, HandlesStayValidAcrossGrowth) {
   const auto grid = topology::grid5000_testbed();
   InstanceCache cache(grid);
-  const sched::Instance& first = cache.get(0, KiB(256));
-  const Time t0 = first.T(0);
+  const InstancePtr first = cache.get(0, KiB(256));
+  const Time t0 = first->T(0);
   // Grow the cache well past any small-map reallocation threshold.
   for (Bytes m = KiB(512); m <= MiB(8); m += KiB(128)) (void)cache.get(0, m);
-  EXPECT_DOUBLE_EQ(first.T(0), t0);
-  EXPECT_EQ(&cache.get(0, KiB(256)), &first);
+  EXPECT_DOUBLE_EQ(first->T(0), t0);
+  EXPECT_EQ(cache.get(0, KiB(256)).get(), first.get());
 }
 
 TEST(InstanceCache, ConcurrentGetsAgree) {
   const auto grid = topology::grid5000_testbed();
   InstanceCache cache(grid);
   constexpr int kThreads = 8;
-  std::vector<const sched::Instance*> got(kThreads, nullptr);
+  std::vector<InstancePtr> got(kThreads);
   {
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t)
       threads.emplace_back(
-          [&, t] { got[t] = &cache.get(0, MiB(1) + KiB(256) * (t % 4)); });
+          [&, t] { got[t] = cache.get(0, MiB(1) + KiB(256) * (t % 4)); });
     for (auto& th : threads) th.join();
   }
   EXPECT_EQ(cache.entries(), 4u);
   // Threads that asked for the same key see the same object.
-  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(got[t], got[t % 4]);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(got[t].get(), got[t % 4].get());
+}
+
+// ------------------------------------------------------------ LRU bound
+
+TEST(InstanceCacheLru, UnboundedByDefault) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid);
+  EXPECT_EQ(cache.capacity(), 0u);
+  for (Bytes m = KiB(256); m <= MiB(8); m += KiB(128)) (void)cache.get(0, m);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_GT(cache.bytes_in_use(), 0u);
+  EXPECT_EQ(cache.bytes_in_use(),
+            cache.entries() *
+                InstanceCache::instance_bytes(*cache.get(0, KiB(256))));
+}
+
+TEST(InstanceCacheLru, EvictsLeastRecentlyUsedFirst) {
+  const auto grid = topology::grid5000_testbed();
+  // All grid5000 instances are the same cluster count, hence equal-sized:
+  // a capacity of three instances holds exactly three entries.
+  const std::size_t one =
+      InstanceCache::instance_bytes(sched::Instance::from_grid(grid, 0, MiB(1)));
+  InstanceCache cache(grid, 3 * one);
+
+  (void)cache.get(0, MiB(1));
+  (void)cache.get(0, MiB(2));
+  (void)cache.get(0, MiB(3));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch MiB(1) so MiB(2) becomes the LRU victim.
+  (void)cache.get(0, MiB(1));
+  (void)cache.get(0, MiB(4));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  const std::uint64_t misses = cache.misses();
+  (void)cache.get(0, MiB(1));  // still cached
+  (void)cache.get(0, MiB(3));  // still cached
+  (void)cache.get(0, MiB(4));  // still cached
+  EXPECT_EQ(cache.misses(), misses);
+  (void)cache.get(0, MiB(2));  // evicted: re-derives
+  EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+TEST(InstanceCacheLru, HandlesSurviveEviction) {
+  const auto grid = topology::grid5000_testbed();
+  const std::size_t one =
+      InstanceCache::instance_bytes(sched::Instance::from_grid(grid, 0, MiB(1)));
+  InstanceCache cache(grid, one);  // room for a single entry
+
+  const InstancePtr held = cache.get(0, MiB(1));
+  (void)cache.get(0, MiB(2));  // evicts MiB(1)
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The holder's instance is untouched by the eviction.
+  EXPECT_EQ(held->root(), 0u);
+  EXPECT_GT(held->T(0), 0.0);
+}
+
+TEST(InstanceCacheLru, SetCapacityEvictsImmediately) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid);
+  for (Bytes m = MiB(1); m <= MiB(4); m += MiB(1)) (void)cache.get(0, m);
+  EXPECT_EQ(cache.entries(), 4u);
+
+  const std::size_t one = cache.bytes_in_use() / 4;
+  cache.set_capacity(2 * one);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_LE(cache.bytes_in_use(), 2 * one);
+  // Back to unbounded: nothing further evicts.
+  cache.set_capacity(0);
+  for (Bytes m = MiB(5); m <= MiB(8); m += MiB(1)) (void)cache.get(0, m);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(InstanceCacheLru, TinyCapacityStillServes) {
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid, 1);  // smaller than any instance
+  const InstancePtr a = cache.get(0, MiB(1));
+  const InstancePtr b = cache.get(0, MiB(1));
+  // Every get derives (nothing can be retained), but results stay valid.
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.entries(), 0u);
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->T(0), b->T(0));
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "collective/backends.hpp"
+#include "support/error.hpp"
+#include "topology/grid5000.hpp"
+
 namespace gridcast::exp {
 namespace {
 
@@ -108,6 +112,32 @@ TEST(Race, HitRateBoundsChecked) {
   const RaceResult r = run_race(sched::paper_heuristics(), small_config(),
                                 pool);
   EXPECT_THROW((void)r.hit_rate(99), LogicError);
+}
+
+TEST(Race, GridExecutingBackendRejected) {
+  // Sampled instances have no grid behind them, so an executing backend
+  // (instance_only() == false) cannot time them.
+  ThreadPool pool(0);
+  const auto grid = topology::grid5000_testbed();
+  const collective::SimBackend sim(grid);
+  EXPECT_THROW(
+      (void)run_race(sim, sched::paper_heuristics(), small_config(), pool),
+      InvalidInput);
+}
+
+TEST(Race, ShapeGatedEntryFailsLoudly) {
+  // The Monte-Carlo race cannot skip a can_schedule-refusing entry per
+  // iteration without skewing the hit-rate denominator, so a refusal is
+  // a designed InvalidInput naming the entry — not a deep assert.
+  ThreadPool pool(0);
+  std::vector<sched::Scheduler> comps = sched::paper_heuristics();
+  comps.emplace_back("LAN-Flat");  // Table 2 draws are WAN-regime: refuses
+  try {
+    (void)run_race(comps, small_config(), pool);
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("LAN-Flat"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -42,11 +42,40 @@ TEST(RaceCliParse, SchedListSizesAndMode) {
   EXPECT_EQ(cli.spec.sizes[0], KiB(256));
   EXPECT_EQ(cli.spec.sizes[1], MiB(1));
   EXPECT_EQ(cli.spec.sizes[2], MiB(4));
-  EXPECT_EQ(cli.spec.mode, RaceMode::kMeasured);
+  // "--mode=measured" survives as an alias of the "sim" backend and is
+  // stored canonically.
+  EXPECT_EQ(cli.spec.backend, "sim");
   EXPECT_DOUBLE_EQ(cli.spec.jitter, 0.1);
   EXPECT_EQ(cli.spec.seed, 9u);
   EXPECT_EQ(cli.spec.root, 2u);
   EXPECT_EQ(cli.out_path, "x.json");
+}
+
+TEST(RaceCliParse, BackendFlagAndAliases) {
+  EXPECT_EQ(parse_race_cli({}).spec.backend, "plogp");
+  EXPECT_EQ(parse_race_cli({"--backend=sim"}).spec.backend, "sim");
+  EXPECT_EQ(parse_race_cli({"--backend=plogp"}).spec.backend, "plogp");
+  // Legacy spellings and case-insensitive lookups resolve in the registry
+  // and canonicalise.
+  EXPECT_EQ(parse_race_cli({"--backend=predicted"}).spec.backend, "plogp");
+  EXPECT_EQ(parse_race_cli({"--backend=MEASURED"}).spec.backend, "sim");
+  EXPECT_EQ(parse_race_cli({"--mode=Sim"}).spec.backend, "sim");
+  // Unknown backends fail at parse time, listing what is registered.
+  try {
+    (void)parse_race_cli({"--backend=mpi"});
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("plogp"), std::string::npos);
+    EXPECT_NE(what.find("sim"), std::string::npos);
+  }
+}
+
+TEST(RaceCliParse, ListBackends) {
+  EXPECT_EQ(parse_race_cli({"--list-backends"}).action,
+            RaceCli::Action::kListBackends);
+  EXPECT_THROW((void)parse_race_cli({"--list-backends", "stray"}),
+               InvalidInput);
 }
 
 TEST(RaceCliParse, ShardForms) {
@@ -160,7 +189,7 @@ TEST(RaceShard, MeasuredModeMergesByteIdenticallyToo) {
   const auto grid = topology::grid5000_testbed();
   ThreadPool pool(2);
   RaceSpec spec = two_sched_spec();
-  spec.mode = RaceMode::kMeasured;
+  spec.backend = "sim";
   spec.jitter = 0.05;
   spec.seed = 42;
 
@@ -214,7 +243,7 @@ TEST(RaceSweep, WallTimesOnlyWhereRequestedAndMeaningful) {
   ThreadPool pool(0);
   RaceSpec spec = two_sched_spec();
   spec.wall = true;
-  spec.mode = RaceMode::kMeasured;
+  spec.backend = "sim";
   InstanceCache cache(grid);
   const io::BenchReport r =
       run_race_sweep(cache, "grid5000_testbed", spec, pool);
@@ -227,6 +256,36 @@ TEST(RaceSweep, WallTimesOnlyWhereRequestedAndMeaningful) {
   InstanceCache cache2(grid);
   EXPECT_THROW((void)run_race_sweep(cache2, "grid5000_testbed", spec, pool),
                InvalidInput);
+}
+
+TEST(RaceSweep, GatedEntriesAreSkippedNotRaced) {
+  // grid5000 is a genuine WAN: the LAN-only and star-shaped specialists
+  // must refuse via can_schedule and be dropped from the report — with no
+  // series and no NaN holes — rather than raced.
+  const auto grid = topology::grid5000_testbed();
+  ThreadPool pool(0);
+  InstanceCache cache(grid);
+  RaceSpec spec;
+  spec.sched_names = {"FlatTree", "LAN-Flat", "Star-WAN", "ECEF-LAT"};
+  spec.sizes = {MiB(1)};
+  std::vector<std::string> skipped;
+  const io::BenchReport r =
+      run_race_sweep(cache, "grid5000_testbed", spec, pool, &skipped);
+  ASSERT_EQ(r.series.size(), 2u);
+  EXPECT_EQ(r.series[0].name, "FlatTree");
+  EXPECT_EQ(r.series[1].name, "ECEF-LAT");
+  EXPECT_FALSE(std::isnan(r.series[0].makespan_s[0]));
+  ASSERT_EQ(skipped.size(), 2u);
+  EXPECT_EQ(skipped[0], "LAN-Flat");
+  EXPECT_EQ(skipped[1], "Star-WAN");
+
+  // All competitors gated: the sweep refuses instead of emitting an
+  // empty report.
+  spec.sched_names = {"LAN-Flat"};
+  InstanceCache cache2(grid);
+  EXPECT_THROW(
+      (void)run_race_sweep(cache2, "grid5000_testbed", spec, pool),
+      InvalidInput);
 }
 
 TEST(RaceSweep, EmptySchedulerListRejected) {

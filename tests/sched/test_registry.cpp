@@ -112,8 +112,11 @@ TEST(Registry, PaperHelpersAreRegistryBacked) {
   EXPECT_EQ(family[3].name(), "ECEF-LAT");
 }
 
-// Property: every registered entry emits a causal SendOrder that
-// evaluate_order accepts, on random Table 2 instances of varied size.
+// Property: every registered entry that accepts an instance emits a
+// causal SendOrder that evaluate_order accepts, on random Table 2
+// instances of varied size.  Grid-shape-specialised entries may refuse
+// via can_schedule — that is their contract — but the paper's seven must
+// accept everything.
 TEST(Registry, EveryEntryEmitsCausalOrdersOnRandomInstances) {
   const auto entries = registry().make_all();
   for (std::uint64_t it = 0; it < 40; ++it) {
@@ -123,14 +126,89 @@ TEST(Registry, EveryEntryEmitsCausalOrdersOnRandomInstances) {
         exp::sample_instance(exp::ParamRanges::paper(), clusters, rng);
     const SchedulerRuntimeInfo info(inst);
     for (const auto& entry : entries) {
-      ASSERT_TRUE(entry->can_schedule(info))
-          << entry->name() << " at " << clusters;
+      if (!entry->can_schedule(info)) continue;  // gated: skipped, not raced
       const SendOrder order = entry->order(info);
       ASSERT_EQ(order.size(), clusters - 1) << entry->name();
       const Schedule s = evaluate_order(inst, order);  // throws if acausal
       EXPECT_EQ(describe_invalid(s, inst.clusters()), "") << entry->name();
     }
   }
+  for (const auto name : kPaperNames) {
+    Rng rng = Rng::stream(12, 0);
+    const Instance inst =
+        exp::sample_instance(exp::ParamRanges::paper(), 6, rng);
+    EXPECT_TRUE(registry().make(name)->can_schedule(SchedulerRuntimeInfo(inst)))
+        << name;
+  }
+}
+
+// ----------------------------------------- grid-shape-specialised gates
+
+/// A hand-built instance: `wan` scales the inter-cluster transfer costs
+/// relative to the internal broadcast times (all 10 ms).  `wan` well under
+/// one is the LAN regime; far above one, a WAN.
+Instance shaped_instance(std::size_t clusters, double wan,
+                         bool star = false) {
+  SquareMatrix<Time> g(clusters), L(clusters);
+  std::vector<Time> T(clusters, ms(10));
+  for (ClusterId i = 0; i < clusters; ++i) {
+    for (ClusterId j = 0; j < clusters; ++j) {
+      if (i == j) continue;
+      // In the star shape, non-root pairs cost double the hub edges.
+      const double detour = (star && i != 0 && j != 0) ? 2.0 : 1.0;
+      g(i, j) = ms(5) * wan * detour;
+      L(i, j) = ms(5) * wan * detour;
+    }
+  }
+  return Instance(0, std::move(g), std::move(L), std::move(T));
+}
+
+TEST(GatedEntries, LanFlatUsesLowerBoundAgainstMaxInternal) {
+  const auto entry = registry().make("LAN-Flat");
+  // LAN regime: transfers are 1% of the internal time; lower_bound stays
+  // within the slack of max_T and the gate opens.
+  const Instance lan = shaped_instance(5, 0.01);
+  EXPECT_TRUE(entry->can_schedule(SchedulerRuntimeInfo(lan)));
+  // WAN regime: the cheapest incoming edge alone dwarfs max_T.
+  const Instance wan = shaped_instance(5, 10.0);
+  EXPECT_FALSE(entry->can_schedule(SchedulerRuntimeInfo(wan)));
+  // When it does schedule, the order is the flat tree.
+  const SendOrder order = entry->order(SchedulerRuntimeInfo(lan));
+  ASSERT_EQ(order.size(), 4u);
+  for (const auto& [s, r] : order) EXPECT_EQ(s, 0u);
+}
+
+TEST(GatedEntries, StarWanRequiresHubShapeAndWanRegime) {
+  const auto entry = registry().make("Star-WAN");
+  // Hub-shaped WAN: accepted; spokes ordered worst direct path first
+  // (uniform here, so ascending id tie-break) and all sent by the root.
+  const Instance star = shaped_instance(5, 10.0, /*star=*/true);
+  EXPECT_TRUE(entry->can_schedule(SchedulerRuntimeInfo(star)));
+  const SendOrder order = entry->order(SchedulerRuntimeInfo(star));
+  ASSERT_EQ(order.size(), 4u);
+  for (const auto& [s, r] : order) EXPECT_EQ(s, 0u);
+  const Schedule sched = evaluate_order(star, order);
+  EXPECT_EQ(describe_invalid(sched, star.clusters()), "");
+  // Uniform full mesh: no hub to exploit (ties are a degenerate star, but
+  // the non-root detour in the star shape is what the gate keys on).
+  const Instance lan_star = shaped_instance(5, 0.01, /*star=*/true);
+  EXPECT_FALSE(entry->can_schedule(SchedulerRuntimeInfo(lan_star)))
+      << "LAN regime must be refused even when hub-shaped";
+  // WAN mesh where a non-root relay beats the direct edge: not a star.
+  Instance mesh = shaped_instance(5, 10.0);
+  {
+    SquareMatrix<Time> g(5), L(5);
+    std::vector<Time> T(5, ms(10));
+    for (ClusterId i = 0; i < 5; ++i)
+      for (ClusterId j = 0; j < 5; ++j) {
+        if (i == j) continue;
+        g(i, j) = ms(50);
+        L(i, j) = ms(50);
+      }
+    g(1, 2) = ms(1);  // cluster 2's cheapest entry is via 1, not the root
+    mesh = Instance(0, std::move(g), std::move(L), std::move(T));
+  }
+  EXPECT_FALSE(entry->can_schedule(SchedulerRuntimeInfo(mesh)));
 }
 
 TEST(RuntimeInfo, CachesInstanceAggregates) {

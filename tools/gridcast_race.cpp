@@ -2,16 +2,20 @@
 // message-size ladder — the one registry-driven CLI behind the per-figure
 // bench binaries.
 //
-//   gridcast_race --sched=FlatTree,ECEF-LAT --mode=predicted --out=race.json
-//   gridcast_race --sched=all --shards=2 --shard=0 --out=s0.json
+//   gridcast_race --sched=FlatTree,ECEF-LAT --backend=plogp --out=race.json
+//   gridcast_race --sched=all --backend=sim --shards=2 --shard=0 --out=s0.json
 //   gridcast_race --merge race.json s0.json s1.json
 //   gridcast_race --check=race.json --baseline=BENCH_baseline.json
+//   gridcast_race --list-backends
 //
-// Sharded runs partition the (size x series) cell grid deterministically,
-// and --merge recombines shard outputs byte-identically to an unsharded
-// run.  --check is the CI regression gate against BENCH_baseline.json.
-// All logic lives in the library (src/exp/race_cli.hpp) where it is
-// unit-tested; this is only the entry point.
+// --backend selects the collective backend by registry name ("plogp" =
+// analytic model, "sim" = discrete-event simulator; --mode=predicted|
+// measured remains as an alias spelling).  Sharded runs partition the
+// (size x series) cell grid deterministically, and --merge recombines
+// shard outputs byte-identically to an unsharded run.  --check is the CI
+// regression gate against the checked-in baselines.  All logic lives in
+// the library (src/exp/race_cli.hpp) where it is unit-tested; this is
+// only the entry point.
 
 #include <iostream>
 #include <string>
