@@ -24,8 +24,9 @@ int main() {
               << (model == sched::CompletionModel::kEager ? "eager (arrival+T)"
                                                           : "after-last-send")
               << '\n';
-    const Table t = benchx::race_sweep(counts, sched::ecef_family(opts), opt,
-                                       benchx::RaceMetric::kHits, pool);
+    const Table t =
+        benchx::race_sweep(counts, benchx::names_of(sched::ecef_family()),
+                           opt, benchx::RaceMetric::kHits, pool, model);
     benchx::emit(t, opt);
   }
   return 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exp/montecarlo.hpp"
+#include "exp/race_cli.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -32,35 +33,53 @@ inline void emit(const Table& t, const BenchOptions& opt) {
     t.print(std::cout);
 }
 
+/// Registered names of a competitor list, for exp::RaceGridSpec.
+inline std::vector<std::string> names_of(
+    const std::vector<sched::Scheduler>& comps) {
+  std::vector<std::string> names;
+  names.reserve(comps.size());
+  for (const auto& c : comps) names.emplace_back(c.name());
+  return names;
+}
+
 /// Run the Monte-Carlo race for each cluster count and tabulate one series
 /// per competitor: mean makespan when `metric == kMean`, hit counts when
 /// `metric == kHits`.
 enum class RaceMetric { kMean, kHits };
 
+/// Delegates to the registry-driven Monte-Carlo race engine
+/// (exp::run_race_grid) — the same code path as `gridcast_race --race` —
+/// and reshapes the BenchReport into the paper's per-figure table.
 inline Table race_sweep(const std::vector<std::size_t>& counts,
-                        const std::vector<sched::Scheduler>& comps,
+                        const std::vector<std::string>& sched_names,
                         const BenchOptions& opt, RaceMetric metric,
-                        ThreadPool& pool) {
+                        ThreadPool& pool,
+                        sched::CompletionModel completion =
+                            sched::CompletionModel::kEager) {
+  exp::RaceGridSpec spec;
+  spec.sched_names = sched_names;
+  spec.cluster_counts = counts;
+  spec.iterations = opt.iterations;
+  spec.seed = opt.seed;
+  spec.completion = completion;
+  const io::BenchReport r = exp::run_race_grid(spec, pool);
+
+  const std::size_t n_comps = sched_names.size();  // + trailing GlobalMin
   std::vector<std::string> header{"clusters"};
-  for (const auto& c : comps) header.emplace_back(c.name());
+  for (std::size_t s = 0; s < n_comps; ++s) header.push_back(r.series[s].name);
   if (metric == RaceMetric::kMean) header.emplace_back("global-min");
   Table t(std::move(header));
 
-  for (const std::size_t n : counts) {
-    exp::RaceConfig cfg;
-    cfg.clusters = n;
-    cfg.iterations = opt.iterations;
-    cfg.seed = opt.seed;
-    const exp::RaceResult r = exp::run_race(comps, cfg, pool);
-
+  for (std::size_t p = 0; p < r.sizes.size(); ++p) {
     std::vector<double> row;
-    row.reserve(comps.size() + 1);
-    for (std::size_t s = 0; s < comps.size(); ++s)
-      row.push_back(metric == RaceMetric::kMean
-                        ? r.makespan[s].mean()
-                        : static_cast<double>(r.hits[s]));
-    if (metric == RaceMetric::kMean) row.push_back(r.global_min.mean());
-    t.add_row(std::to_string(n), row, metric == RaceMetric::kMean ? 3 : 0);
+    row.reserve(n_comps + 1);
+    for (std::size_t s = 0; s < n_comps; ++s)
+      row.push_back(metric == RaceMetric::kMean ? r.series[s].makespan_s[p]
+                                                : r.series[s].hits[p]);
+    if (metric == RaceMetric::kMean)
+      row.push_back(r.series[n_comps].makespan_s[p]);  // GlobalMin
+    t.add_row(std::to_string(r.sizes[p]), row,
+              metric == RaceMetric::kMean ? 3 : 0);
   }
   return t;
 }

@@ -1,5 +1,7 @@
 // Figure 1: mean completion time of a 1 MB broadcast, 2-10 clusters,
-// all seven heuristics, random Table 2 parameters.
+// all seven heuristics, random Table 2 parameters.  Thin wrapper over the
+// registry-driven Monte-Carlo race engine (exp::run_race_grid) — the same
+// code path as `gridcast_race --race --clusters=2-10`.
 //
 // Expected shape (paper): FlatTree worst and growing with cluster count;
 // FEF clearly above the ECEF family; BottomUp between FEF and ECEF*;
@@ -14,9 +16,9 @@ int main() {
       "Figure 1", "1 MB broadcast, 2-10 clusters, mean completion time (s)",
       opt);
   ThreadPool pool(opt.threads);
-  const std::vector<std::size_t> counts{2, 3, 4, 5, 6, 7, 8, 9, 10};
-  const Table t = benchx::race_sweep(counts, sched::paper_heuristics(), opt,
-                                     benchx::RaceMetric::kMean, pool);
+  const Table t = benchx::race_sweep(
+      exp::fig1_cluster_ladder(), benchx::names_of(sched::paper_heuristics()),
+      opt, benchx::RaceMetric::kMean, pool);
   benchx::emit(t, opt);
   return 0;
 }

@@ -4,6 +4,9 @@
 // Expected shape (paper): FlatTree grows ~linearly to ~19 s at 50
 // clusters; FEF grows too; the ECEF family stays in the 3-3.7 s band.
 
+// Thin wrapper over exp::run_race_grid — the same code path as
+// `gridcast_race --race --clusters=5-50:5`.
+
 #include "common.hpp"
 
 int main() {
@@ -13,10 +16,9 @@ int main() {
       "Figure 2", "1 MB broadcast, 5-50 clusters, mean completion time (s)",
       opt);
   ThreadPool pool(opt.threads);
-  std::vector<std::size_t> counts;
-  for (std::size_t n = 5; n <= 50; n += 5) counts.push_back(n);
-  const Table t = benchx::race_sweep(counts, sched::paper_heuristics(), opt,
-                                     benchx::RaceMetric::kMean, pool);
+  const Table t = benchx::race_sweep(
+      exp::fig2_cluster_ladder(), benchx::names_of(sched::paper_heuristics()),
+      opt, benchx::RaceMetric::kMean, pool);
   benchx::emit(t, opt);
   return 0;
 }

@@ -3,6 +3,9 @@
 // four sit within a narrow band and that ECEF-LAT edges ahead as the
 // cluster count grows.
 
+// Thin wrapper over exp::run_race_grid — the same code path as
+// `gridcast_race --race --sched=ECEF,ECEF-LA,ECEF-LAt,ECEF-LAT`.
+
 #include "common.hpp"
 
 int main() {
@@ -13,10 +16,9 @@ int main() {
       "1 MB broadcast, ECEF-family heuristics, mean completion time (s)",
       opt);
   ThreadPool pool(opt.threads);
-  std::vector<std::size_t> counts;
-  for (std::size_t n = 5; n <= 50; n += 5) counts.push_back(n);
-  const Table t = benchx::race_sweep(counts, sched::ecef_family(), opt,
-                                     benchx::RaceMetric::kMean, pool);
+  const Table t = benchx::race_sweep(
+      exp::fig2_cluster_ladder(), benchx::names_of(sched::ecef_family()), opt,
+      benchx::RaceMetric::kMean, pool);
   benchx::emit(t, opt);
   return 0;
 }

@@ -6,6 +6,10 @@
 // Ties credit every achiever, so rows can sum to more than the iteration
 // count (same convention as the paper's counts).
 
+// Thin wrapper over exp::run_race_grid — the same code path (and the same
+// per-series hit counts) as `gridcast_race --race`, whose BenchReport
+// carries them in the "hits" arrays.
+
 #include "common.hpp"
 
 int main() {
@@ -16,10 +20,9 @@ int main() {
                        "(counts out of the iteration total)",
                        opt);
   ThreadPool pool(opt.threads);
-  std::vector<std::size_t> counts;
-  for (std::size_t n = 5; n <= 50; n += 5) counts.push_back(n);
-  Table t = benchx::race_sweep(counts, sched::ecef_family(), opt,
-                               benchx::RaceMetric::kHits, pool);
+  Table t = benchx::race_sweep(
+      exp::fig2_cluster_ladder(), benchx::names_of(sched::ecef_family()), opt,
+      benchx::RaceMetric::kHits, pool);
   benchx::emit(t, opt);
 
   std::cout << "# hit rate = count / " << opt.iterations << '\n';

@@ -16,10 +16,19 @@
 /// it through a collective backend, record each completion, and credit a
 /// "hit" to every strategy whose completion matches the iteration's global
 /// minimum (the paper's hit-rate metric; ties credit all achievers, which
-/// is why Fig. 4's counts sum to more than the iteration count).
+/// is why Fig. 4's counts sum to more than the iteration count — semantics
+/// pinned by tests/exp/test_montecarlo.cpp).
 ///
 /// Determinism: iteration i uses RNG stream (seed, i) regardless of which
 /// worker executes it, so results are bit-identical for any thread count.
+///
+/// This is the single-point library harness (RunningStats over one cluster
+/// count).  The CLI/report/sharding form of the same experiment — one
+/// report across a whole cluster-count ladder, mergeable shard outputs —
+/// is exp::run_race_grid (exp/race_cli.hpp), which shares the draw
+/// distribution and hit semantics but derives its seeds per
+/// (cluster count, iteration, series) so reports are invariant under
+/// competitor-set growth.
 namespace gridcast::exp {
 
 struct RaceConfig {

@@ -284,6 +284,18 @@ const BenchSeries* BenchReport::find_series(std::string_view name) const {
   return nullptr;
 }
 
+bool BenchReport::shard_form() const noexcept {
+  for (const auto& s : series)
+    if (!s.block_sum_s.empty()) return true;
+  return false;
+}
+
+std::size_t BenchReport::block_count() const {
+  GRIDCAST_ASSERT(block_iters > 0, "block_count needs block_iters > 0");
+  return static_cast<std::size_t>((iterations + block_iters - 1) /
+                                  block_iters);
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -310,23 +322,56 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+namespace {
+
+void put_double_array(std::ostream& os, const std::vector<double>& xs) {
+  os << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << (i ? ", " : "");
+    put_double(os, xs[i]);
+  }
+  os << "]";
+}
+
+void put_nested_array(std::ostream& os,
+                      const std::vector<std::vector<double>>& xs) {
+  os << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << (i ? ", " : "");
+    put_double_array(os, xs[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
 void write_bench_json(std::ostream& os, const BenchReport& r) {
   os << "{\n";
   os << "  \"bench\": \"" << json_escape(r.bench) << "\",\n";
   os << "  \"grid\": \"" << json_escape(r.grid) << "\",\n";
   os << "  \"mode\": \"" << json_escape(r.mode) << "\",\n";
   os << "  \"root\": " << r.root << ",\n";
-  if (r.mode == "measured") {
+  // Monte-Carlo races record the seed whatever the mode: the instance
+  // draws depend on it even when the backend is deterministic.
+  if (r.mode == "measured" || r.is_montecarlo()) {
     os << "  \"seed\": " << r.seed << ",\n";
+  }
+  if (r.mode == "measured") {
     os << "  \"jitter\": ";
     put_double(os, r.jitter);
     os << ",\n";
+  }
+  if (r.is_montecarlo()) {
+    os << "  \"iterations\": " << r.iterations << ",\n";
+    // The block partition is an artefact of sharding; merged (final)
+    // reports drop it so they are byte-identical to an unsharded run.
+    if (r.shard_form()) os << "  \"block_iters\": " << r.block_iters << ",\n";
   }
   if (r.shards > 1) {
     os << "  \"shards\": " << r.shards << ",\n";
     os << "  \"shard\": " << r.shard << ",\n";
   }
-  os << "  \"sizes\": [";
+  os << "  \"" << (r.is_montecarlo() ? "clusters" : "sizes") << "\": [";
   for (std::size_t i = 0; i < r.sizes.size(); ++i)
     os << (i ? ", " : "") << r.sizes[i];
   os << "],\n  \"series\": [\n";
@@ -336,12 +381,22 @@ void write_bench_json(std::ostream& os, const BenchReport& r) {
       os << ", \"wall_time_s\": ";
       put_double(os, r.series[s].wall_time_s);
     }
-    os << ", \"makespan_s\": [";
-    for (std::size_t i = 0; i < r.series[s].makespan_s.size(); ++i) {
-      os << (i ? ", " : "");
-      put_double(os, r.series[s].makespan_s[i]);
+    if (!r.series[s].block_sum_s.empty()) {
+      os << ", \"block_sum_s\": ";
+      put_nested_array(os, r.series[s].block_sum_s);
+      if (!r.series[s].block_hits.empty()) {
+        os << ", \"block_hits\": ";
+        put_nested_array(os, r.series[s].block_hits);
+      }
+    } else {
+      os << ", \"makespan_s\": ";
+      put_double_array(os, r.series[s].makespan_s);
+      if (!r.series[s].hits.empty()) {
+        os << ", \"hits\": ";
+        put_double_array(os, r.series[s].hits);
+      }
     }
-    os << "]}" << (s + 1 < r.series.size() ? "," : "") << "\n";
+    os << "}" << (s + 1 < r.series.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -351,6 +406,24 @@ std::string bench_to_json(const BenchReport& r) {
   write_bench_json(os, r);
   return os.str();
 }
+
+namespace {
+
+std::vector<double> number_array(const JsonValue& v, const char* what) {
+  std::vector<double> out;
+  for (const auto& e : as<JsonArray>(v, what)) out.push_back(as_number(e, what));
+  return out;
+}
+
+std::vector<std::vector<double>> nested_number_array(const JsonValue& v,
+                                                     const char* what) {
+  std::vector<std::vector<double>> out;
+  for (const auto& e : as<JsonArray>(v, what))
+    out.push_back(number_array(e, what));
+  return out;
+}
+
+}  // namespace
 
 BenchReport bench_from_json(const std::string& text) {
   const JsonValue root = JsonParser(text).parse();
@@ -370,15 +443,24 @@ BenchReport bench_from_json(const std::string& text) {
       r.seed = as_u64(value, "seed");
     } else if (key == "jitter") {
       r.jitter = as_number(value, "jitter");
+    } else if (key == "iterations") {
+      r.iterations = as_u64(value, "iterations");
+    } else if (key == "block_iters") {
+      r.block_iters = as_u64(value, "block_iters");
     } else if (key == "shards") {
       r.shards = as_u64(value, "shards");
     } else if (key == "shard") {
       r.shard = as_u64(value, "shard");
     } else if (key == "threads") {
       // Historical BENCH_sweep.json field; accepted and ignored.
-    } else if (key == "sizes") {
+    } else if (key == "sizes" || key == "clusters") {
+      if (!r.sizes.empty())
+        throw InvalidInput(
+            "bench JSON: 'sizes' and 'clusters' are mutually exclusive");
       for (const auto& v : as<JsonArray>(value, "sizes"))
         r.sizes.push_back(as_u64(v, "sizes[]"));
+      if (r.sizes.empty())
+        throw InvalidInput("bench JSON: empty '" + key + "' axis");
     } else if (key == "series") {
       for (const auto& sv : as<JsonArray>(value, "series")) {
         const JsonObject& so = as<JsonObject>(sv, "series[]");
@@ -386,25 +468,103 @@ BenchReport bench_from_json(const std::string& text) {
         s.name = as<std::string>(require(so, "name"), "series name");
         if (const JsonValue* w = find(so, "wall_time_s"))
           s.wall_time_s = as_number(*w, "wall_time_s");
-        for (const auto& mv : as<JsonArray>(require(so, "makespan_s"),
-                                            "makespan_s"))
-          s.makespan_s.push_back(as_number(mv, "makespan_s[]"));
+        const JsonValue* mk = find(so, "makespan_s");
+        const JsonValue* bs = find(so, "block_sum_s");
+        if ((mk == nullptr) == (bs == nullptr))
+          throw InvalidInput("bench JSON: series '" + s.name +
+                             "' needs exactly one of 'makespan_s' and "
+                             "'block_sum_s'");
+        if (mk != nullptr) s.makespan_s = number_array(*mk, "makespan_s");
+        if (bs != nullptr) s.block_sum_s = nested_number_array(*bs, "block_sum_s");
+        if (const JsonValue* h = find(so, "hits")) {
+          if (mk == nullptr)
+            throw InvalidInput("bench JSON: series '" + s.name +
+                               "' mixes 'hits' with shard-form data");
+          s.hits = number_array(*h, "hits");
+        }
+        if (const JsonValue* bh = find(so, "block_hits")) {
+          if (bs == nullptr)
+            throw InvalidInput("bench JSON: series '" + s.name +
+                               "' has 'block_hits' without 'block_sum_s'");
+          s.block_hits = nested_number_array(*bh, "block_hits");
+        }
         r.series.push_back(std::move(s));
       }
     } else {
       throw InvalidInput("bench JSON: unknown key '" + key + "'");
     }
   }
-  if (find(o, "sizes") == nullptr || find(o, "series") == nullptr)
-    throw InvalidInput("bench JSON: missing 'sizes' or 'series'");
+  if ((find(o, "sizes") == nullptr && find(o, "clusters") == nullptr) ||
+      find(o, "series") == nullptr)
+    throw InvalidInput("bench JSON: missing 'sizes'/'clusters' or 'series'");
   if (r.shards == 0 || r.shard >= r.shards)
     throw InvalidInput("bench JSON: shard index out of range");
-  for (const auto& s : r.series)
-    if (s.makespan_s.size() != r.sizes.size())
-      throw InvalidInput("bench JSON: series '" + s.name + "' has " +
-                         std::to_string(s.makespan_s.size()) +
-                         " cells for " + std::to_string(r.sizes.size()) +
-                         " sizes");
+
+  // Axis spelling is tied to the report kind: size sweeps use "sizes",
+  // Monte-Carlo races use "clusters".  A mismatch is format drift.
+  const bool clusters_axis = find(o, "clusters") != nullptr;
+  if (clusters_axis != r.is_montecarlo())
+    throw InvalidInput(
+        "bench JSON: axis key '" +
+        std::string(clusters_axis ? "clusters" : "sizes") +
+        "' does not match bench kind '" + r.bench + "'");
+  if (r.is_montecarlo()) {
+    if (r.iterations == 0)
+      throw InvalidInput("bench JSON: montecarlo report needs iterations >= 1");
+  } else {
+    if (find(o, "iterations") != nullptr || find(o, "block_iters") != nullptr)
+      throw InvalidInput(
+          "bench JSON: 'iterations'/'block_iters' are montecarlo-only keys");
+  }
+
+  const bool shard_form = r.shard_form();
+  if (shard_form) {
+    if (!r.is_montecarlo())
+      throw InvalidInput("bench JSON: 'block_sum_s' is montecarlo-only");
+    if (r.block_iters == 0)
+      throw InvalidInput(
+          "bench JSON: shard-form report needs 'block_iters' >= 1");
+    if (r.shards <= 1)
+      throw InvalidInput(
+          "bench JSON: shard-form report without a shard partition");
+  } else if (r.block_iters != 0) {
+    throw InvalidInput(
+        "bench JSON: 'block_iters' without shard-form series data");
+  }
+
+  for (const auto& s : r.series) {
+    if (!r.is_montecarlo() && !s.hits.empty())
+      throw InvalidInput("bench JSON: 'hits' is montecarlo-only");
+    if (shard_form != !s.block_sum_s.empty())
+      throw InvalidInput("bench JSON: series '" + s.name +
+                         "' mixes shard-form and final-form data");
+    if (!shard_form) {
+      if (s.makespan_s.size() != r.sizes.size())
+        throw InvalidInput("bench JSON: series '" + s.name + "' has " +
+                           std::to_string(s.makespan_s.size()) +
+                           " cells for " + std::to_string(r.sizes.size()) +
+                           " axis points");
+      if (!s.hits.empty() && s.hits.size() != r.sizes.size())
+        throw InvalidInput("bench JSON: series '" + s.name +
+                           "' hits do not cover the axis");
+    } else {
+      const std::size_t blocks = r.block_count();
+      const auto check_shape = [&](const std::vector<std::vector<double>>& a,
+                                   const char* what) {
+        if (a.size() != r.sizes.size())
+          throw InvalidInput("bench JSON: series '" + s.name + "' " + what +
+                             " does not cover the axis");
+        for (const auto& row : a)
+          if (row.size() != blocks)
+            throw InvalidInput("bench JSON: series '" + s.name + "' " + what +
+                               " has a row with " +
+                               std::to_string(row.size()) + " blocks, want " +
+                               std::to_string(blocks));
+      };
+      check_shape(s.block_sum_s, "block_sum_s");
+      if (!s.block_hits.empty()) check_shape(s.block_hits, "block_hits");
+    }
+  }
   return r;
 }
 
@@ -420,9 +580,30 @@ std::vector<std::string> compare_bench(const BenchReport& baseline,
   std::vector<std::string> problems;
   const auto add = [&](std::string p) { problems.push_back(std::move(p)); };
 
+  if (baseline.bench != current.bench) {
+    add("bench kind mismatch: baseline '" + baseline.bench +
+        "' vs current '" + current.bench + "'");
+    return problems;
+  }
+  if (baseline.shard_form() || current.shard_form()) {
+    add("shard-form report: merge the shards before comparing");
+    return problems;
+  }
   if (baseline.grid != current.grid)
     add("grid mismatch: baseline '" + baseline.grid + "' vs current '" +
         current.grid + "'");
+  if (baseline.is_montecarlo()) {
+    if (baseline.seed != current.seed)
+      add("seed mismatch: baseline " + std::to_string(baseline.seed) +
+          " vs current " + std::to_string(current.seed) +
+          " (the instance draws differ)");
+    if (baseline.iterations != current.iterations) {
+      add("iteration-count mismatch: baseline " +
+          std::to_string(baseline.iterations) + " vs current " +
+          std::to_string(current.iterations));
+      return problems;  // means and hit counts would differ by design
+    }
+  }
   if (baseline.mode != current.mode)
     add("mode mismatch: baseline '" + baseline.mode + "' vs current '" +
         current.mode + "'");
@@ -442,8 +623,10 @@ std::vector<std::string> compare_bench(const BenchReport& baseline,
   if (baseline.root != current.root)
     add("root mismatch: baseline " + std::to_string(baseline.root) +
         " vs current " + std::to_string(current.root));
+  const char* axis = baseline.is_montecarlo() ? "clusters" : "size";
   if (baseline.sizes != current.sizes) {
-    add("size ladder mismatch (" + std::to_string(baseline.sizes.size()) +
+    add(std::string(baseline.is_montecarlo() ? "cluster-count" : "size") +
+        " ladder mismatch (" + std::to_string(baseline.sizes.size()) +
         " baseline vs " + std::to_string(current.sizes.size()) +
         " current points)");
     return problems;  // per-cell comparison would be meaningless
@@ -468,9 +651,24 @@ std::vector<std::string> compare_bench(const BenchReport& baseline,
       // NaN is false, so the negation trips).
       const double tol = opts.makespan_rtol * std::max(std::abs(b), 1e-300);
       if (!(std::abs(c - b) <= tol))
-        add("series '" + base.name + "' makespan drift at size " +
+        add("series '" + base.name + "' makespan drift at " + axis + " " +
             std::to_string(baseline.sizes[i]) + ": baseline " +
             std::to_string(b) + " vs current " + std::to_string(c));
+    }
+    // Hit counts are deterministic integers under a fixed seed; any
+    // difference is a behaviour change, so the comparison is exact.
+    if (!base.hits.empty()) {
+      if (cur->hits.empty()) {
+        add("series '" + base.name + "' is missing hit counts");
+      } else {
+        for (std::size_t i = 0; i < base.hits.size(); ++i)
+          if (!(base.hits[i] == cur->hits[i]))
+            add("series '" + base.name + "' hit-count drift at " + axis +
+                " " + std::to_string(baseline.sizes[i]) + ": baseline " +
+                std::to_string(static_cast<std::uint64_t>(base.hits[i])) +
+                " vs current " +
+                std::to_string(static_cast<std::uint64_t>(cur->hits[i])));
+      }
     }
     if (!std::isnan(base.wall_time_s)) {
       const double limit = base.wall_time_s * opts.wall_factor;

@@ -24,28 +24,62 @@ namespace gridcast::io {
 /// wall-clock cost of computing its schedules.  NaN marks "absent": a
 /// sharded run leaves foreign cells NaN (written as `null`), and
 /// `wall_time_s` is NaN unless the producer timed scheduling.
+///
+/// Monte-Carlo race reports (`bench == "montecarlo"`) carry two more
+/// shapes of data.  Final reports put the per-point *mean* completion in
+/// `makespan_s` and the per-point hit counts (iterations where the series
+/// matched the global minimum; ties credit every achiever) in `hits`.
+/// Shard-form reports instead carry per-(point, iteration-block) partial
+/// sums in `block_sum_s` / `block_hits`, with NaN marking blocks the shard
+/// does not own — merging folds blocks in block order, so the merged means
+/// are byte-identical to an unsharded run.  Exactly one of `makespan_s`
+/// and `block_sum_s` is present per series.
 struct BenchSeries {
   std::string name;
   double wall_time_s = std::numeric_limits<double>::quiet_NaN();
   std::vector<double> makespan_s;
+  std::vector<double> hits;        ///< per point; empty = not tracked
+  std::vector<std::vector<double>> block_sum_s;  ///< [point][block]
+  std::vector<std::vector<double>> block_hits;   ///< [point][block]
 };
 
 /// A full report: the sweep axis, per-series results, and enough metadata
 /// (grid, mode, root, seed/jitter, shard coordinates) to refuse apples-to-
 /// oranges comparisons and merges.
+///
+/// Two report kinds share the grammar.  Message-size sweeps
+/// (`bench == "race"`) put the byte ladder in `sizes`, serialised under the
+/// JSON key "sizes".  Monte-Carlo races (`bench == "montecarlo"`, the
+/// Figs. 1-4 experiment) put the *cluster counts* in the same axis vector,
+/// serialised under the key "clusters", and additionally record the
+/// Monte-Carlo depth per point (`iterations`, always) and the block size
+/// of the deterministic shard partition (`block_iters`, shard-form reports
+/// only — merged reports drop it).
 struct BenchReport {
-  std::string bench = "race";
+  std::string bench = "race";      ///< "race" (size sweep) | "montecarlo"
   std::string grid;
   std::string mode = "predicted";  ///< "predicted" | "measured"
   ClusterId root = 0;
-  std::uint64_t seed = 0;          ///< measured mode only (else ignored)
+  std::uint64_t seed = 0;          ///< measured sweeps + all montecarlo runs
   double jitter = 0.0;             ///< measured mode only (else ignored)
+  std::uint64_t iterations = 0;    ///< montecarlo only: draws per point
+  std::uint64_t block_iters = 0;   ///< montecarlo shard-form only
   std::size_t shards = 1;          ///< total shards (1 = unsharded)
   std::size_t shard = 0;           ///< this report's shard index
-  std::vector<Bytes> sizes;
+  std::vector<Bytes> sizes;        ///< byte ladder or cluster counts
   std::vector<BenchSeries> series;
 
   [[nodiscard]] const BenchSeries* find_series(std::string_view name) const;
+
+  /// Monte-Carlo race report (cluster-count axis, hits, iterations)?
+  [[nodiscard]] bool is_montecarlo() const noexcept {
+    return bench == "montecarlo";
+  }
+  /// Carries per-block shard partials instead of final per-point values?
+  [[nodiscard]] bool shard_form() const noexcept;
+  /// Number of iteration blocks per point: ceil(iterations / block_iters).
+  /// Requires block_iters > 0.
+  [[nodiscard]] std::size_t block_count() const;
 };
 
 /// Escape a string for embedding in a JSON string literal (quotes,
@@ -75,9 +109,10 @@ struct BenchCompareOptions {
 
 /// Compare `current` against `baseline`; returns one human-readable
 /// problem per violation (empty = gate passes).  Violations: metadata or
-/// size-axis mismatch, missing/extra series, uncomputed (NaN) cells,
-/// makespan drift past `makespan_rtol`, wall-time regression past
-/// `wall_factor`.
+/// axis mismatch, shard-form (unmerged) inputs, missing/extra series,
+/// uncomputed (NaN) cells, makespan drift past `makespan_rtol`, hit-count
+/// drift (exact: hits are deterministic integers), wall-time regression
+/// past `wall_factor`.
 [[nodiscard]] std::vector<std::string> compare_bench(
     const BenchReport& baseline, const BenchReport& current,
     const BenchCompareOptions& opts = {});

@@ -125,6 +125,64 @@ TEST(Race, GridExecutingBackendRejected) {
       InvalidInput);
 }
 
+TEST(Race, TiesCreditEveryAchiever) {
+  // The documented Fig. 4 semantics (montecarlo.hpp header): a "hit" goes
+  // to *every* strategy whose completion matches the iteration's global
+  // minimum, not only to one winner — which is why the paper's counts sum
+  // to more than the iteration count.  Two copies of the same entry tie
+  // exactly on every draw, so both must be credited every time.
+  ThreadPool pool(0);
+  const std::vector<sched::Scheduler> twins{sched::Scheduler("ECEF"),
+                                            sched::Scheduler("ECEF")};
+  const RaceResult r = run_race(twins, small_config(), pool);
+  EXPECT_EQ(r.hits[0], r.iterations);
+  EXPECT_EQ(r.hits[1], r.iterations);
+  EXPECT_EQ(r.hits[0] + r.hits[1], 2 * r.iterations);  // > denominator
+  EXPECT_DOUBLE_EQ(r.makespan[0].mean(), r.makespan[1].mean());
+}
+
+TEST(Race, HitEpsilonBoundsTheTieBand) {
+  // hit_epsilon is *relative*: with an absurdly wide band every strategy
+  // "ties" the minimum on every iteration; with a zero band only exact
+  // achievers count (and at least one always does).
+  ThreadPool pool(0);
+  auto cfg = small_config();
+  cfg.hit_epsilon = 1e6;
+  const RaceResult wide = run_race(sched::paper_heuristics(), cfg, pool);
+  for (const auto h : wide.hits) EXPECT_EQ(h, wide.iterations);
+
+  cfg.hit_epsilon = 0.0;
+  const RaceResult tight = run_race(sched::paper_heuristics(), cfg, pool);
+  std::uint64_t total = 0;
+  for (const auto h : tight.hits) total += h;
+  EXPECT_GE(total, tight.iterations);
+}
+
+TEST(Race, AddingACompetitorDoesNotReseedExistingSeries) {
+  // Seed-invariance regression (the PR 2 lesson at the race level): the
+  // per-iteration instance stream depends on (seed, iteration) only, so a
+  // grown competitor set sees the *same draws* and every pre-existing
+  // series keeps its per-iteration samples — means, minima and maxima are
+  // bit-identical, not just statistically close.
+  ThreadPool pool(0);
+  const std::vector<sched::Scheduler> small{sched::Scheduler("FlatTree"),
+                                            sched::Scheduler("ECEF")};
+  const std::vector<sched::Scheduler> grown{sched::Scheduler("FlatTree"),
+                                            sched::Scheduler("ECEF"),
+                                            sched::Scheduler("ECEF-LAT")};
+  const RaceResult a = run_race(small, small_config(), pool);
+  const RaceResult b = run_race(grown, small_config(), pool);
+  for (std::size_t s = 0; s < small.size(); ++s) {
+    EXPECT_EQ(a.makespan[s].mean(), b.makespan[s].mean());
+    EXPECT_EQ(a.makespan[s].min(), b.makespan[s].min());
+    EXPECT_EQ(a.makespan[s].max(), b.makespan[s].max());
+  }
+  // Hit counts of dominated strategies may drop when a newcomer lowers
+  // the global minimum — but never rise.
+  for (std::size_t s = 0; s < small.size(); ++s)
+    EXPECT_LE(b.hits[s], a.hits[s]);
+}
+
 TEST(Race, ShapeGatedEntryFailsLoudly) {
   // The Monte-Carlo race cannot skip a can_schedule-refusing entry per
   // iteration without skewing the hit-rate denominator, so a refusal is

@@ -12,6 +12,15 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
+BenchSeries make_series(std::string name, double wall,
+                        std::vector<double> makespans) {
+  BenchSeries s;
+  s.name = std::move(name);
+  s.wall_time_s = wall;
+  s.makespan_s = std::move(makespans);
+  return s;
+}
+
 BenchReport small_report() {
   BenchReport r;
   r.bench = "race";
@@ -19,8 +28,8 @@ BenchReport small_report() {
   r.mode = "predicted";
   r.root = 0;
   r.sizes = {262144, 524288};
-  r.series.push_back({"FlatTree", 0.125, {0.875, 1.75}});
-  r.series.push_back({"ECEF-LAT", kNaN, {0.25, 0.5}});
+  r.series.push_back(make_series("FlatTree", 0.125, {0.875, 1.75}));
+  r.series.push_back(make_series("ECEF-LAT", kNaN, {0.25, 0.5}));
   return r;
 }
 
@@ -121,7 +130,7 @@ TEST(BenchCompare, MissingSeriesFails) {
 TEST(BenchCompare, ExtraSeriesFails) {
   const BenchReport base = small_report();
   BenchReport cur = base;
-  cur.series.push_back({"Newcomer", kNaN, {1.0, 2.0}});
+  cur.series.push_back(make_series("Newcomer", kNaN, {1.0, 2.0}));
   const auto problems = compare_bench(base, cur);
   ASSERT_EQ(problems.size(), 1u);
   EXPECT_NE(problems[0].find("extra series 'Newcomer'"), std::string::npos);
