@@ -174,9 +174,9 @@ AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block) {
   return hierarchical_alltoall_over(net, block, dest_order);
 }
 
-AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block,
-                                         const sched::SchedulerEntry& sched) {
-  const auto& grid = net.grid();
+std::vector<std::vector<ClusterId>> alltoall_dest_order(
+    const topology::Grid& grid, Bytes block,
+    const sched::SchedulerEntry& sched) {
   const auto n_clusters = static_cast<ClusterId>(grid.cluster_count());
   std::vector<std::vector<ClusterId>> dest_order(n_clusters);
   for (ClusterId c = 0; c < n_clusters; ++c) {
@@ -189,7 +189,13 @@ AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block,
     // injection sequence.
     for (const auto& [s, r] : sched.order(info)) dest_order[c].push_back(r);
   }
-  return hierarchical_alltoall_over(net, block, dest_order);
+  return dest_order;
+}
+
+AlltoallResult run_hierarchical_alltoall(sim::Network& net, Bytes block,
+                                         const sched::SchedulerEntry& sched) {
+  return hierarchical_alltoall_over(net, block,
+                                    alltoall_dest_order(net.grid(), block, sched));
 }
 
 }  // namespace gridcast::collective

@@ -48,4 +48,14 @@ struct AlltoallResult {
 [[nodiscard]] AlltoallResult run_hierarchical_alltoall(
     sim::Network& net, Bytes block, const sched::SchedulerEntry& sched);
 
+/// The per-coordinator aggregate injection sequences `sched` implies:
+/// `result[c]` is the receiver appearance order of a broadcast rooted at
+/// cluster c (empty sequences for grids with fewer than two clusters).
+/// Shared by the executing backend (run_hierarchical_alltoall) and the
+/// analytic predictor (plogp::predict_hierarchical_alltoall).  Throws
+/// LogicError when `sched` cannot schedule one of the instances.
+[[nodiscard]] std::vector<std::vector<ClusterId>> alltoall_dest_order(
+    const topology::Grid& grid, Bytes block,
+    const sched::SchedulerEntry& sched);
+
 }  // namespace gridcast::collective

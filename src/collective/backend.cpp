@@ -20,20 +20,11 @@ std::string fold(std::string_view name) {
 
 }  // namespace
 
-std::string_view to_string(Verb v) noexcept {
-  switch (v) {
-    case Verb::kBcast: return "bcast";
-    case Verb::kScatter: return "scatter";
-    case Verb::kAlltoall: return "alltoall";
-  }
-  return "?";
-}
-
 std::string_view Backend::baseline_series() const noexcept { return {}; }
 
 void Backend::unsupported(Verb v) const {
   throw InvalidInput("backend '" + std::string(name()) +
-                     "' does not support " + std::string(to_string(v)) +
+                     "' does not support " + std::string(verb_name(v)) +
                      " (query supports() before calling)");
 }
 
@@ -166,9 +157,12 @@ BackendRegistry& backend_registry() {
     r->add(
         "plogp",
         "analytic pLogP cost model: times the schedule without executing "
-        "messages (bcast only, deterministic)",
-        [](const BackendOptions&) -> BackendPtr {
-          return std::make_shared<const PlogpBackend>();
+        "messages (bcast/scatter/alltoall, deterministic; scatter and "
+        "alltoall predictions need a grid)",
+        [](const BackendOptions& o) -> BackendPtr {
+          // Broadcast works instance-only; the grid, when given, enables
+          // the closed-form scatter/alltoall predictions.
+          return std::make_shared<const PlogpBackend>(o.grid);
         },
         {"predicted", "model", "analytic"});
     return r;

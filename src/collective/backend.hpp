@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "collective/verb.hpp"
 #include "sched/scheduler_entry.hpp"
 #include "sim/network.hpp"
 #include "support/types.hpp"
@@ -26,11 +27,6 @@
 /// Adding a real execution harness is then "register one more backend",
 /// not "fork every sweep on a mode flag".
 namespace gridcast::collective {
-
-/// The collective operations a backend may implement.
-enum class Verb : std::uint8_t { kBcast, kScatter, kAlltoall };
-
-[[nodiscard]] std::string_view to_string(Verb v) noexcept;
 
 /// Outcome of one collective, whatever produced it.  `delivered` is
 /// per-rank for executing backends and per-cluster for analytic ones

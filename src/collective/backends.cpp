@@ -3,6 +3,7 @@
 #include "collective/alltoall.hpp"
 #include "collective/bcast.hpp"
 #include "collective/scatter.hpp"
+#include "plogp/hierarchical_predict.hpp"
 #include "sched/evaluate.hpp"
 #include "support/error.hpp"
 
@@ -89,6 +90,51 @@ CollectiveResult PlogpBackend::bcast(const sched::SchedulerEntry& sched,
   r.per_rank = false;
   r.completion = s.makespan;
   return r;
+}
+
+namespace {
+
+CollectiveResult from_prediction(plogp::HierarchicalPrediction p) {
+  CollectiveResult r;
+  r.delivered = std::move(p.cluster_finish);
+  r.per_rank = false;
+  r.completion = p.completion;
+  r.messages = p.messages;
+  r.wan_messages = p.wan_messages;
+  r.bytes = p.bytes;
+  r.wan_bytes = p.wan_bytes;
+  return r;
+}
+
+}  // namespace
+
+const topology::Grid& PlogpBackend::grid_for(Verb v) const {
+  if (grid_ == nullptr)
+    throw InvalidInput("backend 'plogp' predicts " +
+                       std::string(verb_name(v)) +
+                       " from a grid's gap functions: construct it with "
+                       "BackendOptions::grid set");
+  return *grid_;
+}
+
+CollectiveResult PlogpBackend::scatter(const sched::SchedulerEntry& sched,
+                                       ClusterId root_cluster, Bytes block,
+                                       std::uint64_t /*seed*/) const {
+  const topology::Grid& grid = grid_for(Verb::kScatter);
+  // The same injection sequence the executing backend would run, predicted
+  // in closed form instead of simulated message by message.
+  const std::vector<ClusterId> order =
+      scatter_wan_order(grid, root_cluster, block, sched);
+  return from_prediction(
+      plogp::predict_hierarchical_scatter(grid, root_cluster, block, order));
+}
+
+CollectiveResult PlogpBackend::alltoall(const sched::SchedulerEntry& sched,
+                                        Bytes block,
+                                        std::uint64_t /*seed*/) const {
+  const topology::Grid& grid = grid_for(Verb::kAlltoall);
+  return from_prediction(plogp::predict_hierarchical_alltoall(
+      grid, block, alltoall_dest_order(grid, block, sched)));
 }
 
 }  // namespace gridcast::collective

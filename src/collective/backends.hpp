@@ -65,9 +65,20 @@ class SimBackend final : public Backend {
 /// the pLogP predictors (plogp/collective_predict.hpp) — without executing
 /// a single message.  Works from any instance (sampled or grid-derived),
 /// which is what lets the Monte-Carlo races route through it.
+///
+/// Scatter and all-to-all are predicted in closed form from the grid's gap
+/// functions (plogp/hierarchical_predict.hpp) — the aggregate sizes differ
+/// per link, so a fixed-size instance is not enough.  Construct with a
+/// grid (the registry passes `BackendOptions::grid` through) to enable
+/// them; without one those verbs throw InvalidInput at call time while
+/// `supports()` still advertises them — the capability is the backend's,
+/// the grid is per-workload context, exactly as for `SimBackend`.
 class PlogpBackend final : public Backend {
  public:
-  PlogpBackend() = default;
+  /// `grid` enables the scatter/alltoall predictions; it is only
+  /// referenced and must outlive the backend.  Broadcast never uses it.
+  explicit PlogpBackend(const topology::Grid* grid = nullptr) noexcept
+      : grid_(grid) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "plogp";
@@ -75,9 +86,7 @@ class PlogpBackend final : public Backend {
   [[nodiscard]] std::string_view mode_label() const noexcept override {
     return "predicted";
   }
-  [[nodiscard]] bool supports(Verb v) const noexcept override {
-    return v == Verb::kBcast;
-  }
+  [[nodiscard]] bool supports(Verb) const noexcept override { return true; }
   [[nodiscard]] bool is_deterministic() const noexcept override {
     return true;
   }
@@ -86,6 +95,19 @@ class PlogpBackend final : public Backend {
   [[nodiscard]] CollectiveResult bcast(const sched::SchedulerEntry& sched,
                                        const sched::SchedulerRuntimeInfo& info,
                                        std::uint64_t seed) const override;
+  [[nodiscard]] CollectiveResult scatter(const sched::SchedulerEntry& sched,
+                                         ClusterId root_cluster, Bytes block,
+                                         std::uint64_t seed) const override;
+  [[nodiscard]] CollectiveResult alltoall(const sched::SchedulerEntry& sched,
+                                          Bytes block,
+                                          std::uint64_t seed) const override;
+
+ private:
+  /// The grid behind scatter/alltoall, or throws the one-line "needs a
+  /// grid" InvalidInput.
+  [[nodiscard]] const topology::Grid& grid_for(Verb v) const;
+
+  const topology::Grid* grid_;
 };
 
 }  // namespace gridcast::collective

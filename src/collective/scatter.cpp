@@ -112,10 +112,9 @@ ScatterResult run_hierarchical_scatter(sim::Network& net,
   return hierarchical_scatter_over(net, root_cluster, block, remote);
 }
 
-ScatterResult run_hierarchical_scatter(sim::Network& net,
-                                       ClusterId root_cluster, Bytes block,
-                                       const sched::SchedulerEntry& sched) {
-  const auto& grid = net.grid();
+std::vector<ClusterId> scatter_wan_order(const topology::Grid& grid,
+                                         ClusterId root_cluster, Bytes block,
+                                         const sched::SchedulerEntry& sched) {
   GRIDCAST_ASSERT(root_cluster < grid.cluster_count(),
                   "root cluster out of range");
   const sched::Instance inst =
@@ -128,7 +127,15 @@ ScatterResult run_hierarchical_scatter(sim::Network& net,
   std::vector<ClusterId> remote;
   remote.reserve(grid.cluster_count() - 1);
   for (const auto& [s, r] : sched.order(info)) remote.push_back(r);
-  return hierarchical_scatter_over(net, root_cluster, block, remote);
+  return remote;
+}
+
+ScatterResult run_hierarchical_scatter(sim::Network& net,
+                                       ClusterId root_cluster, Bytes block,
+                                       const sched::SchedulerEntry& sched) {
+  return hierarchical_scatter_over(
+      net, root_cluster, block,
+      scatter_wan_order(net.grid(), root_cluster, block, sched));
 }
 
 }  // namespace gridcast::collective

@@ -45,4 +45,14 @@ struct ScatterResult {
     sim::Network& net, ClusterId root_cluster, Bytes block,
     const sched::SchedulerEntry& sched);
 
+/// The WAN injection sequence `sched` implies for a scatter from
+/// `root_cluster`: the receiver appearance order of its broadcast schedule
+/// over the instance the grid poses at `block` bytes.  Shared by the
+/// executing backend (run_hierarchical_scatter) and the analytic predictor
+/// (plogp::predict_hierarchical_scatter), so both sequence the identical
+/// schedule.  Throws LogicError when `sched` cannot schedule the instance.
+[[nodiscard]] std::vector<ClusterId> scatter_wan_order(
+    const topology::Grid& grid, ClusterId root_cluster, Bytes block,
+    const sched::SchedulerEntry& sched);
+
 }  // namespace gridcast::collective

@@ -1,0 +1,30 @@
+#include "collective/verb.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace gridcast::collective {
+
+std::string_view verb_name(Verb v) noexcept {
+  switch (v) {
+    case Verb::kBcast: return "bcast";
+    case Verb::kScatter: return "scatter";
+    case Verb::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+Verb to_verb(std::string_view name) {
+  std::string folded(name);
+  std::transform(folded.begin(), folded.end(), folded.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const Verb v : kAllVerbs)
+    if (folded == verb_name(v)) return v;
+  throw InvalidInput("unknown verb '" + std::string(name) +
+                     "' (valid: bcast, scatter, alltoall)");
+}
+
+}  // namespace gridcast::collective

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// The collective verb vocabulary, shared by every layer that names one.
+///
+/// One `to_verb`/`verb_name` pair serves the CLI (`--verb=...`), the
+/// BenchReport JSON grammar (the `"verb"` key) and backend error messages,
+/// so the spelling of a verb — and the one-line diagnostic for an unknown
+/// one — exists in exactly one place instead of per-site string switches.
+namespace gridcast::collective {
+
+/// The collective operations a backend may implement.
+enum class Verb : std::uint8_t { kBcast, kScatter, kAlltoall };
+
+/// Every verb, in declaration order (for capability tables and sweeps
+/// over the vocabulary).
+inline constexpr Verb kAllVerbs[] = {Verb::kBcast, Verb::kScatter,
+                                     Verb::kAlltoall};
+
+/// Canonical spelling: "bcast", "scatter", "alltoall".
+[[nodiscard]] std::string_view verb_name(Verb v) noexcept;
+
+/// Parse a verb name (case-insensitive).  Throws InvalidInput with the
+/// one-line diagnostic "unknown verb 'x' (valid: bcast, scatter,
+/// alltoall)" — the CLI and the strict report parser both surface it
+/// verbatim.
+[[nodiscard]] Verb to_verb(std::string_view name);
+
+}  // namespace gridcast::collective

@@ -141,8 +141,9 @@ io::BenchReport run_race_sweep(InstanceCache& cache,
   const collective::BackendPtr backend =
       collective::backend_registry().make(spec.backend, bopts);
 
-  const SweepResult sweep = backend_sweep(*backend, cache, spec.root, comps,
-                                          sizes, spec.seed, pool, spec.shard);
+  const SweepResult sweep =
+      backend_sweep(*backend, cache, spec.root, comps, sizes, spec.seed, pool,
+                    spec.shard, spec.verb);
   if (skipped != nullptr)
     skipped->insert(skipped->end(), sweep.skipped.begin(),
                     sweep.skipped.end());
@@ -151,6 +152,7 @@ io::BenchReport run_race_sweep(InstanceCache& cache,
   r.bench = "race";
   r.grid = grid_name;
   r.mode = backend->mode_label();
+  r.verb = collective::verb_name(spec.verb);
   r.root = spec.root;
   r.seed = spec.seed;
   r.jitter = spec.jitter;
@@ -210,7 +212,7 @@ io::BenchReport merge_race_shards(const std::vector<io::BenchReport>& shards) {
   std::set<std::size_t> indices;
   for (const auto& s : shards) {
     if (s.bench != ref.bench || s.grid != ref.grid || s.mode != ref.mode ||
-        s.root != ref.root || s.sizes != ref.sizes)
+        s.verb != ref.verb || s.root != ref.root || s.sizes != ref.sizes)
       throw InvalidInput("merge: shard " + std::to_string(s.shard) +
                          " metadata does not match shard " +
                          std::to_string(ref.shard));
@@ -691,6 +693,8 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
   bool sizes_seen = false;
   bool grid_seen = false;
   bool iters_seen = false;
+  bool verb_seen = false;
+  bool completion_seen = false;
 
   const auto value_of = [](const std::string& arg) {
     const std::size_t eq = arg.find('=');
@@ -748,6 +752,10 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
         for (const auto& tok : split_csv(v))
           cli.spec.sizes.push_back(parse_size(tok));
       }
+    } else if (key == "--verb") {
+      // to_verb throws the shared one-line "unknown verb" diagnostic.
+      verb_seen = true;
+      cli.spec.verb = collective::to_verb(value_of(arg));
     } else if (key == "--grid") {
       grid_seen = true;
       cli.grid_arg = value_of(arg);
@@ -764,6 +772,7 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
     } else if (arg == "--list-backends") {
       cli.action = RaceCli::Action::kListBackends;
     } else if (key == "--completion") {
+      completion_seen = true;
       const std::string v = lower(value_of(arg));
       if (v == "eager")
         cli.spec.completion = sched::CompletionModel::kEager;
@@ -829,6 +838,10 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
       throw InvalidInput(
           "--grid applies to sweep mode; the race samples its instances "
           "instead of deriving them from a grid");
+    if (verb_seen)
+      throw InvalidInput(
+          "--verb applies to sweep mode; the Monte-Carlo race broadcasts "
+          "by definition");
     if (cli.spec.wall)
       throw InvalidInput("--wall applies to sweep mode only");
     cli.action = RaceCli::Action::kRace;
@@ -845,6 +858,10 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
     cli.race.shard.validate();
     return cli;
   }
+  if (completion_seen && cli.spec.verb != collective::Verb::kBcast)
+    throw InvalidInput(
+        "--completion applies to broadcast sweeps; scatter/alltoall "
+        "schedules are derived and timed with the eager model");
   if (!cli.race.cluster_counts.empty())
     throw InvalidInput("--clusters requires --race");
   if (iters_seen) throw InvalidInput("--iters requires --race");
@@ -935,8 +952,10 @@ int run_race_cli(const RaceCli& cli, std::ostream& out, std::ostream& err) {
           run_race_sweep(cache, grid_name, spec, pool, &skipped);
       write_report(report, cli.out_path, out);
       err << "raced " << report.series.size() << " series x "
-          << report.sizes.size() << " sizes (backend " << spec.backend
-          << ", " << report.mode << ", shard " << report.shard << "/"
+          << report.sizes.size() << " sizes (backend " << spec.backend;
+      if (spec.verb != collective::Verb::kBcast)
+        err << ", verb " << collective::verb_name(spec.verb);
+      err << ", " << report.mode << ", shard " << report.shard << "/"
           << report.shards << ", " << cache.misses()
           << " instances derived)";
       if (!cli.out_path.empty()) err << " -> " << cli.out_path;
@@ -1018,6 +1037,7 @@ std::string race_cli_usage() {
   return
       "usage:\n"
       "  gridcast_race [--sched=a,b,c|all] [--backend=plogp|sim]\n"
+      "                [--verb=bcast|scatter|alltoall]\n"
       "                [--grid=grid5000|<file>] [--root=N]\n"
       "                [--sizes=default|256K,1M,...] [--completion=eager|"
       "after-last-send]\n"
@@ -1035,7 +1055,9 @@ std::string race_cli_usage() {
       "  gridcast_race --list-backends\n"
       "(--race runs the Figs. 1-4 Monte-Carlo races over random Table 2\n"
       " instances; grid-executing backends need --realise.  --mode=\n"
-      " predicted|measured remains as an alias of --backend.)\n";
+      " predicted|measured remains as an alias of --backend.  --verb races\n"
+      " the two-level scatter/alltoall instead of the broadcast: sizes are\n"
+      " then per-rank (scatter) / per-rank-pair (alltoall) blocks.)\n";
 }
 
 }  // namespace gridcast::exp

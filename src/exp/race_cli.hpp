@@ -44,6 +44,11 @@ struct RaceSpec {
   std::vector<Bytes> sizes;
   ClusterId root = 0;
   std::string backend = "plogp";
+  /// Which collective the sweep races (`--verb`): broadcast by default,
+  /// scatter (sizes = per-rank blocks) or all-to-all (sizes = per-rank-
+  /// pair blocks).  A backend that does not support the verb fails with a
+  /// one-line diagnostic.
+  collective::Verb verb = collective::Verb::kBcast;
   sched::CompletionModel completion = sched::CompletionModel::kEager;
   double jitter = 0.05;     ///< sim backend only
   std::uint64_t seed = 1;   ///< non-deterministic backends only

@@ -51,21 +51,40 @@ SweepResult backend_sweep(const collective::Backend& backend,
                           InstanceCache& cache, ClusterId root,
                           const std::vector<sched::Scheduler>& comps,
                           std::span<const Bytes> sizes, std::uint64_t seed,
-                          ThreadPool& pool, ShardSpec shard) {
+                          ThreadPool& pool, ShardSpec shard,
+                          collective::Verb verb) {
   GRIDCAST_ASSERT(!comps.empty(), "no competitors");
   GRIDCAST_ASSERT(!sizes.empty(), "no sizes");
   shard.validate();
+  if (!backend.supports(verb))
+    throw InvalidInput("backend '" + std::string(backend.name()) +
+                       "' does not support verb '" +
+                       std::string(collective::verb_name(verb)) + "'");
 
-  // Derive every size's instance up front in parallel: the gate below
-  // must see all of them so every shard computes the same verdict (a
+  // The all-to-all executes one schedule per root cluster, so its gate
+  // must probe every root; broadcast and scatter schedule from `root`
+  // alone.
+  std::vector<ClusterId> gate_roots;
+  if (verb == collective::Verb::kAlltoall) {
+    const auto n = static_cast<ClusterId>(cache.grid().cluster_count());
+    for (ClusterId c = 0; c < n; ++c) gate_roots.push_back(c);
+  } else {
+    gate_roots.push_back(root);
+  }
+
+  // Derive every (root, size) instance up front in parallel: the gate
+  // below must see all of them so every shard computes the same verdict (a
   // series is either fully present or absent).  This costs a sharded run
   // the full ladder's derivations per process where the cell loop alone
   // would pay ~1/shards of them — accepted: one derivation is O(clusters²)
   // gap evaluations, orders of magnitude below a single simulated cell,
   // and the cells are what sharding exists to distribute.
-  pool.parallel_for(sizes.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) (void)cache.get(root, sizes[i]);
-  });
+  pool.parallel_for(
+      sizes.size() * gate_roots.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          (void)cache.get(gate_roots[i % gate_roots.size()],
+                          sizes[i / gate_roots.size()]);
+      });
 
   // Gate: a competitor races only if it can schedule *every* instance of
   // the ladder, so a series is either fully present or absent and shard
@@ -79,10 +98,21 @@ SweepResult backend_sweep(const collective::Backend& backend,
   for (const auto& comp : comps) {
     bool ok = true;
     for (std::size_t i = 0; ok && i < sizes.size(); ++i) {
-      const InstancePtr inst = cache.get(root, sizes[i]);
-      const sched::SchedulerRuntimeInfo info(*inst, sizes[i],
-                                             comp.options().completion);
-      ok = comp.entry().can_schedule(info);
+      for (const ClusterId r : gate_roots) {
+        const InstancePtr inst = cache.get(r, sizes[i]);
+        // Probe with the info the verb path will build: the competitor's
+        // completion model for broadcasts, the default (eager) model for
+        // scatter/alltoall — their order derivations construct exactly
+        // that (scatter_wan_order / alltoall_dest_order), and a gate that
+        // disagreed with their can_schedule assert would skip-vs-die
+        // inconsistently.
+        const sched::SchedulerRuntimeInfo info(
+            *inst, sizes[i],
+            verb == collective::Verb::kBcast ? comp.options().completion
+                                             : sched::CompletionModel::kEager);
+        ok = comp.entry().can_schedule(info);
+        if (!ok) break;
+      }
     }
     if (ok)
       raced.push_back(&comp);
@@ -100,7 +130,11 @@ SweepResult backend_sweep(const collective::Backend& backend,
         "this grid (" + who + ")");
   }
 
-  const std::string_view baseline = backend.baseline_series();
+  // The comparator series is a broadcast (the grid-unaware binomial), so
+  // only broadcast sweeps carry it.
+  const std::string_view baseline = verb == collective::Verb::kBcast
+                                        ? backend.baseline_series()
+                                        : std::string_view{};
   const std::size_t base = baseline.empty() ? 0 : 1;
   const std::size_t n_series = raced.size() + base;
   out.sizes.assign(sizes.begin(), sizes.end());
@@ -130,11 +164,31 @@ SweepResult backend_sweep(const collective::Backend& backend,
                 backend.baseline_bcast(root, m, cell_seed).completion;
           } else {
             const sched::Scheduler& comp = *raced[s - base];
-            const InstancePtr inst = cache.get(root, m);
-            const sched::SchedulerRuntimeInfo info(*inst, m,
-                                                   comp.options().completion);
-            out.series[s].completion[i] =
-                backend.bcast(comp.entry(), info, cell_seed).completion;
+            switch (verb) {
+              case collective::Verb::kBcast: {
+                const InstancePtr inst = cache.get(root, m);
+                const sched::SchedulerRuntimeInfo info(
+                    *inst, m, comp.options().completion);
+                out.series[s].completion[i] =
+                    backend.bcast(comp.entry(), info, cell_seed).completion;
+                break;
+              }
+              // Scatter/alltoall cells re-derive their instances inside
+              // the backend (the Backend verb signatures are grid-bound,
+              // not info-bound — an MPI harness has no Instance at all).
+              // Accepted: O(clusters²) gap evaluations per cell, below
+              // the cell's own execution/prediction work; the cache still
+              // serves the gate above.
+              case collective::Verb::kScatter:
+                out.series[s].completion[i] =
+                    backend.scatter(comp.entry(), root, m, cell_seed)
+                        .completion;
+                break;
+              case collective::Verb::kAlltoall:
+                out.series[s].completion[i] =
+                    backend.alltoall(comp.entry(), m, cell_seed).completion;
+                break;
+            }
           }
         }
       });

@@ -70,17 +70,24 @@ struct ShardSpec {
 
 /// Race `comps` over `sizes` through `backend`: completion per (size,
 /// series) cell, preceded by the backend's baseline comparator series when
-/// it has one.  Cells are dispatched across `pool` (results are identical
-/// for any worker count); instances are derived once per size through
-/// `cache` (whose grid must be the one `backend` executes on); per-cell
-/// seeds derive from `seed` via `measured_cell_seed`.  Competitors whose
-/// `can_schedule` refuses any of the sweep's instances are skipped rather
-/// than raced (reported in `SweepResult::skipped`); when every competitor
-/// is skipped the sweep throws InvalidInput.
+/// it has one (broadcast sweeps only — the comparator is a broadcast).
+/// `verb` selects the collective raced per cell: broadcast (the default,
+/// sizes are message sizes), scatter (sizes are per-rank blocks, rooted at
+/// `root`) or all-to-all (sizes are per-rank-pair blocks; `root` is
+/// unused).  A backend that does not support the verb is a one-line
+/// InvalidInput.  Cells are dispatched across `pool` (results are
+/// identical for any worker count); instances are derived once per size
+/// through `cache` (whose grid must be the one `backend` executes on);
+/// per-cell seeds derive from `seed` via `measured_cell_seed`.
+/// Competitors whose `can_schedule` refuses any of the sweep's instances
+/// (every root's instance, for all-to-all) are skipped rather than raced
+/// (reported in `SweepResult::skipped`); when every competitor is skipped
+/// the sweep throws InvalidInput.
 [[nodiscard]] SweepResult backend_sweep(
     const collective::Backend& backend, InstanceCache& cache, ClusterId root,
     const std::vector<sched::Scheduler>& comps, std::span<const Bytes> sizes,
-    std::uint64_t seed, ThreadPool& pool, ShardSpec shard = {});
+    std::uint64_t seed, ThreadPool& pool, ShardSpec shard = {},
+    collective::Verb verb = collective::Verb::kBcast);
 
 /// Model-predicted completion per size and scheduler (Fig. 5) — the
 /// "plogp" backend.  The overloads without a cache build a private one;

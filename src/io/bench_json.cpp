@@ -10,6 +10,7 @@
 #include <sstream>
 #include <variant>
 
+#include "collective/verb.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::io {
@@ -350,6 +351,10 @@ void write_bench_json(std::ostream& os, const BenchReport& r) {
   os << "  \"bench\": \"" << json_escape(r.bench) << "\",\n";
   os << "  \"grid\": \"" << json_escape(r.grid) << "\",\n";
   os << "  \"mode\": \"" << json_escape(r.mode) << "\",\n";
+  // The default verb is omitted so broadcast reports keep the exact bytes
+  // they had before the verb axis existed (shard-merge and baseline
+  // tooling compare reports byte for byte).
+  if (r.verb != "bcast") os << "  \"verb\": \"" << json_escape(r.verb) << "\",\n";
   os << "  \"root\": " << r.root << ",\n";
   // Monte-Carlo races record the seed whatever the mode: the instance
   // draws depend on it even when the backend is deterministic.
@@ -437,6 +442,11 @@ BenchReport bench_from_json(const std::string& text) {
       r.grid = as<std::string>(value, "grid");
     } else if (key == "mode") {
       r.mode = as<std::string>(value, "mode");
+    } else if (key == "verb") {
+      // Canonicalised through the shared verb vocabulary: an unknown verb
+      // is the same one-line diagnostic the CLI emits.
+      r.verb = std::string(
+          collective::verb_name(collective::to_verb(as<std::string>(value, "verb"))));
     } else if (key == "root") {
       r.root = static_cast<ClusterId>(as_u64(value, "root"));
     } else if (key == "seed") {
@@ -511,6 +521,10 @@ BenchReport bench_from_json(const std::string& text) {
   if (r.is_montecarlo()) {
     if (r.iterations == 0)
       throw InvalidInput("bench JSON: montecarlo report needs iterations >= 1");
+    if (find(o, "verb") != nullptr)
+      throw InvalidInput(
+          "bench JSON: 'verb' is a sweep-only key (Monte-Carlo races "
+          "broadcast by definition)");
   } else {
     if (find(o, "iterations") != nullptr || find(o, "block_iters") != nullptr)
       throw InvalidInput(
@@ -583,6 +597,13 @@ std::vector<std::string> compare_bench(const BenchReport& baseline,
   if (baseline.bench != current.bench) {
     add("bench kind mismatch: baseline '" + baseline.bench +
         "' vs current '" + current.bench + "'");
+    return problems;
+  }
+  if (baseline.verb != current.verb) {
+    // A scatter report against a broadcast baseline is apples to oranges;
+    // per-cell drift messages would only obscure that.
+    add("verb mismatch: baseline '" + baseline.verb + "' vs current '" +
+        current.verb + "'");
     return problems;
   }
   if (baseline.shard_form() || current.shard_form()) {

@@ -59,6 +59,12 @@ struct BenchReport {
   std::string bench = "race";      ///< "race" (size sweep) | "montecarlo"
   std::string grid;
   std::string mode = "predicted";  ///< "predicted" | "measured"
+  /// The collective the sweep raced: "bcast" | "scatter" | "alltoall"
+  /// (canonical `collective::verb_name` spellings).  Serialised only when
+  /// not "bcast", so default-verb reports stay byte-identical to the
+  /// pre-verb-axis grammar; Monte-Carlo races are broadcast by definition
+  /// and may not carry the key.
+  std::string verb = "bcast";
   ClusterId root = 0;
   std::uint64_t seed = 0;          ///< measured sweeps + all montecarlo runs
   double jitter = 0.0;             ///< measured mode only (else ignored)

@@ -1,0 +1,213 @@
+#include "plogp/hierarchical_predict.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace gridcast::plogp {
+
+namespace {
+
+/// Validate that `order` names each cluster other than `self` exactly once
+/// (entries equal to `self` are tolerated when `allow_self`, mirroring the
+/// executed all-to-all's `if (d == c) continue`).
+void check_order(std::span<const ClusterId> order, std::size_t clusters,
+                 ClusterId self, bool allow_self) {
+  std::vector<char> seen(clusters, 0);
+  std::size_t covered = 0;
+  for (const ClusterId c : order) {
+    GRIDCAST_ASSERT(c < clusters, "order names a cluster out of range");
+    if (c == self) {
+      GRIDCAST_ASSERT(allow_self, "order names the local cluster");
+      continue;
+    }
+    GRIDCAST_ASSERT(!seen[c], "order names a cluster twice");
+    seen[c] = 1;
+    ++covered;
+  }
+  GRIDCAST_ASSERT(covered + 1 == clusters,
+                  "order must cover every other cluster exactly once");
+}
+
+}  // namespace
+
+HierarchicalPrediction predict_hierarchical_scatter(
+    const topology::Grid& grid, ClusterId root, Bytes block,
+    std::span<const ClusterId> wan_order) {
+  const std::size_t n_clusters = grid.cluster_count();
+  GRIDCAST_ASSERT(root < n_clusters, "root cluster out of range");
+  check_order(wan_order, n_clusters, root, /*allow_self=*/false);
+
+  HierarchicalPrediction r;
+  r.cluster_finish.assign(n_clusters, 0.0);
+
+  // The root coordinator injects one aggregate per remote cluster, back to
+  // back: injection k completes at the k-th prefix sum of the WAN gaps.
+  Time nic = 0.0;
+  for (const ClusterId c : wan_order) {
+    const plogp::Params& link = grid.link(root, c);
+    const std::uint32_t size = grid.cluster(c).size();
+    const Bytes aggregate = static_cast<Bytes>(size) * block;
+    nic += link.g(aggregate);
+    const Time arrive = nic + link.L;
+    // Intra fan-out: the coordinator's sends serialize, the l-th local
+    // holds its block at arrive + l·g_c(block) + L_c; the last one is the
+    // cluster's finish.
+    const plogp::Params& intra = grid.cluster(c).intra();
+    r.cluster_finish[c] =
+        size > 1 ? arrive + static_cast<double>(size - 1) * intra.g(block) +
+                       intra.L
+                 : arrive;
+    r.messages += size;  // 1 WAN aggregate + (size - 1) local blocks
+    r.wan_messages += 1;
+    r.bytes += aggregate + static_cast<Bytes>(size - 1) * block;
+    r.wan_bytes += aggregate;
+  }
+
+  // The root's own locals are served after the WAN injections (one NIC).
+  const std::uint32_t root_size = grid.cluster(root).size();
+  if (root_size > 1) {
+    const plogp::Params& intra = grid.cluster(root).intra();
+    r.cluster_finish[root] =
+        nic + static_cast<double>(root_size - 1) * intra.g(block) + intra.L;
+    r.messages += root_size - 1;
+    r.bytes += static_cast<Bytes>(root_size - 1) * block;
+  }
+
+  r.completion = *std::max_element(r.cluster_finish.begin(),
+                                   r.cluster_finish.end());
+  return r;
+}
+
+namespace {
+
+/// One cluster-level segment event of the all-to-all resolution.  The
+/// (t, seq) ordering mirrors the simulator's event calendar: seq numbers
+/// are assigned in the order the executed algorithm would schedule the
+/// corresponding callbacks, so simultaneous segments resolve NIC
+/// contention identically (symmetric synthetic grids tie constantly).
+struct SegmentEvent {
+  Time t;
+  std::uint64_t seq;
+  enum : std::uint8_t { kInject, kArrive } kind;
+  ClusterId c;  ///< kInject: ready cluster; kArrive: source cluster
+  ClusterId d;  ///< kArrive only: destination cluster
+};
+
+struct SegmentLater {
+  bool operator()(const SegmentEvent& a, const SegmentEvent& b) const noexcept {
+    return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+  }
+};
+
+}  // namespace
+
+HierarchicalPrediction predict_hierarchical_alltoall(
+    const topology::Grid& grid, Bytes block,
+    const std::vector<std::vector<ClusterId>>& dest_order) {
+  const std::size_t n_clusters = grid.cluster_count();
+  const std::uint32_t n = grid.total_nodes();
+  GRIDCAST_ASSERT(dest_order.size() == n_clusters,
+                  "dest_order must have one sequence per cluster");
+  if (n_clusters > 1)
+    for (ClusterId c = 0; c < n_clusters; ++c)
+      check_order(dest_order[c], n_clusters, c, /*allow_self=*/true);
+
+  HierarchicalPrediction r;
+  r.cluster_finish.assign(n_clusters, 0.0);
+
+  // Closed-form per-cluster segments: the intra pairwise exchange keeps
+  // every NIC busy for (size−1)·g_c(block) and lands the last block
+  // L_c later; the gather message leaves right behind the intra sends.
+  std::vector<Time> nic(n_clusters, 0.0);     // coordinator NIC free time
+  std::vector<Time> intra_last(n_clusters, 0.0);
+  std::vector<Time> last_delivery(n_clusters, 0.0);  // WAN + fan-out arrivals
+  for (ClusterId c = 0; c < n_clusters; ++c) {
+    const std::uint32_t size = grid.cluster(c).size();
+    if (size <= 1) continue;
+    const plogp::Params& intra = grid.cluster(c).intra();
+    nic[c] = static_cast<double>(size - 1) * intra.g(block);
+    intra_last[c] = nic[c] + intra.L;
+    r.messages += static_cast<std::uint64_t>(size) * (size - 1);
+    r.bytes += static_cast<Bytes>(size) * (size - 1) * block;
+  }
+
+  std::uint64_t seq = 0;
+  std::priority_queue<SegmentEvent, std::vector<SegmentEvent>, SegmentLater>
+      events;
+
+  // Coordinator c's aggregate injections, serialized on its NIC from
+  // `ready` on; each arrival event carries the link latency.
+  const auto inject = [&](ClusterId c, Time ready) {
+    const std::uint32_t size_c = grid.cluster(c).size();
+    for (const ClusterId d : dest_order[c]) {
+      if (d == c) continue;
+      const std::uint32_t size_d = grid.cluster(d).size();
+      const Bytes aggregate =
+          static_cast<Bytes>(size_c) * static_cast<Bytes>(size_d) * block;
+      const plogp::Params& link = grid.link(c, d);
+      const Time start = std::max(ready, nic[c]);
+      nic[c] = start + link.g(aggregate);
+      events.push({nic[c] + link.L, seq++, SegmentEvent::kArrive, c, d});
+      r.messages += 1;
+      r.wan_messages += 1;
+      r.bytes += aggregate;
+      r.wan_bytes += aggregate;
+    }
+  };
+
+  // Issue order mirrors the executed algorithm's gather loop: ascending
+  // cluster id, singletons injecting immediately, gathered clusters
+  // becoming ready once the last local contribution lands.
+  for (ClusterId c = 0; c < n_clusters && n_clusters > 1; ++c) {
+    const std::uint32_t size = grid.cluster(c).size();
+    const Bytes remote_blocks = static_cast<Bytes>(n - size) * block;
+    if (size == 1 || remote_blocks == 0) {
+      inject(c, 0.0);
+      continue;
+    }
+    const plogp::Params& intra = grid.cluster(c).intra();
+    // Every local's NIC frees at the same time (identical intra duty), so
+    // all gather aggregates land together — that moment is the ready time.
+    const Time ready = nic[c] + intra.g(remote_blocks) + intra.L;
+    events.push({ready, seq++, SegmentEvent::kInject, c, 0});
+    r.messages += size - 1;
+    r.bytes += static_cast<Bytes>(size - 1) * remote_blocks;
+  }
+
+  // Resolve the segment events in (time, issue-sequence) order: NIC
+  // contention between a coordinator's own injections and the fan-out of
+  // inbound aggregates is exactly the executed interleaving.
+  while (!events.empty()) {
+    const SegmentEvent ev = events.top();
+    events.pop();
+    if (ev.kind == SegmentEvent::kInject) {
+      inject(ev.c, ev.t);
+      continue;
+    }
+    const ClusterId d = ev.d;
+    last_delivery[d] = std::max(last_delivery[d], ev.t);
+    const std::uint32_t size_d = grid.cluster(d).size();
+    if (size_d > 1) {
+      const std::uint32_t size_c = grid.cluster(ev.c).size();
+      const plogp::Params& intra = grid.cluster(d).intra();
+      const Time gap = intra.g(static_cast<Bytes>(size_c) * block);
+      for (std::uint32_t l = 1; l < size_d; ++l) {
+        const Time start = std::max(ev.t, nic[d]);
+        nic[d] = start + gap;
+        last_delivery[d] = std::max(last_delivery[d], nic[d] + intra.L);
+      }
+      r.messages += size_d - 1;
+      r.bytes += static_cast<Bytes>(size_d - 1) * size_c * block;
+    }
+  }
+
+  for (ClusterId c = 0; c < n_clusters; ++c)
+    r.cluster_finish[c] = std::max(intra_last[c], last_delivery[c]);
+  r.completion = *std::max_element(r.cluster_finish.begin(),
+                                   r.cluster_finish.end());
+  return r;
+}
+
+}  // namespace gridcast::plogp

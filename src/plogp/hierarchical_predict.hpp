@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+#include "topology/grid.hpp"
+
+/// Analytic pLogP prediction of the two-level hierarchical scatter and
+/// all-to-all (the collective/scatter.cpp and collective/alltoall.cpp
+/// algorithms), closing the verb gap left by the broadcast-only predictor.
+///
+/// Both predictions follow the same modelling rule as the broadcast cost
+/// model (sched/evaluate.hpp): every coordinator owns one NIC whose
+/// injections serialize with the link's gap g(m), a payload lands L after
+/// its injection completes, and the *receive overhead or(m) is omitted* —
+/// it is the documented residual between prediction and execution
+/// (sim/network.hpp), which is why the predictions are exact on
+/// zero-overhead grids and a few percent optimistic on realistic ones.
+///
+/// Scatter decomposes in closed form: the root's WAN segment costs are the
+/// prefix sums of g_{root,c}(size_c · block) over the schedule's injection
+/// order, each remote cluster then pays its intra fan-out
+/// (size_c − 1) · g_c(block) + L_c, and the root cluster's own fan-out is
+/// serialized after the last WAN injection — so a worse injection order
+/// shows up directly as a larger prefix for some cluster.
+///
+/// All-to-all has the same per-segment closed forms (gather completes at
+/// (size_c − 1) · g_c(block) + g_c((n − size_c) · block) + L_c; exchange
+/// aggregates cost g_{cd}(size_c · size_d · block); delivery fans out like
+/// scatter), but the completion is schedule-order dependent through NIC
+/// contention: a coordinator's own aggregate injections interleave with
+/// the fan-out of aggregates arriving from other clusters.  The prediction
+/// therefore resolves the C² cluster-level segments in the executed
+/// algorithm's (time, issue-sequence) order — cluster-granular arithmetic
+/// over the gap functions, not a message-level simulation (the simulator
+/// processes Θ(Σ size_c²) point-to-point messages; this resolves Θ(C²)
+/// segment events).
+namespace gridcast::plogp {
+
+/// Prediction of one hierarchical collective, cluster-granular: the
+/// counters mirror the executed algorithm's message/byte accounting
+/// exactly, the times omit receive overheads (see header comment).
+struct HierarchicalPrediction {
+  std::vector<Time> cluster_finish;  ///< last delivery per cluster
+  Time completion = 0.0;             ///< max over cluster_finish
+  std::uint64_t messages = 0;        ///< point-to-point sends modelled
+  std::uint64_t wan_messages = 0;    ///< sends that cross clusters
+  Bytes bytes = 0;                   ///< total payload bytes moved
+  Bytes wan_bytes = 0;               ///< bytes that cross clusters
+};
+
+/// Predict the two-level scatter of `block` bytes per rank from
+/// `root`'s coordinator, WAN injections sequenced by `wan_order` (every
+/// non-root cluster exactly once — the receiver appearance order of a
+/// broadcast schedule, see collective::scatter_wan_order).
+[[nodiscard]] HierarchicalPrediction predict_hierarchical_scatter(
+    const topology::Grid& grid, ClusterId root, Bytes block,
+    std::span<const ClusterId> wan_order);
+
+/// Predict the coordinator-routed all-to-all with `block` bytes per rank
+/// pair; `dest_order[c]` sequences coordinator c's aggregate injections
+/// (every d ≠ c exactly once; a d == c entry is ignored, mirroring the
+/// executed algorithm).
+[[nodiscard]] HierarchicalPrediction predict_hierarchical_alltoall(
+    const topology::Grid& grid, Bytes block,
+    const std::vector<std::vector<ClusterId>>& dest_order);
+
+}  // namespace gridcast::plogp

@@ -92,21 +92,43 @@ TEST(BackendRegistry, SimFactoryRequiresGrid) {
 
 // ------------------------------------------------------- capabilities
 
-TEST(BackendCapabilities, PlogpIsDeterministicBcastOnly) {
+TEST(BackendCapabilities, PlogpIsDeterministicAndSupportsAllVerbs) {
   const PlogpBackend plogp;
   EXPECT_EQ(plogp.mode_label(), "predicted");
   EXPECT_TRUE(plogp.supports(Verb::kBcast));
-  EXPECT_FALSE(plogp.supports(Verb::kScatter));
-  EXPECT_FALSE(plogp.supports(Verb::kAlltoall));
+  EXPECT_TRUE(plogp.supports(Verb::kScatter));
+  EXPECT_TRUE(plogp.supports(Verb::kAlltoall));
   EXPECT_TRUE(plogp.is_deterministic());
   EXPECT_TRUE(plogp.instance_only());
   EXPECT_TRUE(plogp.baseline_series().empty());
 
-  // Unsupported verbs throw rather than silently no-op.
+  // Scatter/alltoall predictions read the grid's gap functions; a
+  // grid-less instance refuses them with a one-line pointer at the fix.
   const auto sched = sched::registry().make("FlatTree");
-  EXPECT_THROW((void)plogp.scatter(*sched, 0, KiB(64)), InvalidInput);
-  EXPECT_THROW((void)plogp.alltoall(*sched, KiB(64)), InvalidInput);
+  try {
+    (void)plogp.scatter(*sched, 0, KiB(64), 0);
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("BackendOptions::grid"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)plogp.alltoall(*sched, KiB(64), 0), InvalidInput);
   EXPECT_THROW((void)plogp.baseline_bcast(0, KiB(64)), InvalidInput);
+
+  // With a grid the predictions run — the registry passes it through.
+  const auto grid = topology::grid5000_testbed();
+  BackendOptions opts;
+  opts.grid = &grid;
+  const auto via_registry = backend_registry().make("plogp", opts);
+  const CollectiveResult s = via_registry->scatter(*sched, 0, KiB(64), 0);
+  EXPECT_FALSE(s.per_rank);
+  EXPECT_EQ(s.delivered.size(), grid.cluster_count());
+  EXPECT_GT(s.completion, 0.0);
+  EXPECT_EQ(s.wan_messages, grid.cluster_count() - 1);
+  const CollectiveResult a = via_registry->alltoall(*sched, KiB(16), 0);
+  EXPECT_GT(a.completion, 0.0);
+  EXPECT_EQ(a.wan_messages,
+            grid.cluster_count() * (grid.cluster_count() - 1));
 }
 
 TEST(BackendCapabilities, SimSupportsAllVerbsAndTracksJitter) {

@@ -113,6 +113,37 @@ TEST(BenchJson, StrictParserRejectsMalformedInput) {
                InvalidInput);
 }
 
+TEST(BenchJson, VerbKeySerialisesOnlyWhenNotBcast) {
+  BenchReport r = small_report();
+  EXPECT_EQ(r.verb, "bcast");  // the default
+  EXPECT_EQ(bench_to_json(r).find("\"verb\""), std::string::npos);
+
+  r.verb = "scatter";
+  const std::string text = bench_to_json(r);
+  EXPECT_NE(text.find("\"verb\": \"scatter\""), std::string::npos);
+  const BenchReport parsed = bench_from_json(text);
+  EXPECT_EQ(parsed.verb, "scatter");
+  EXPECT_EQ(bench_to_json(parsed), text);
+
+  // The parser canonicalises through the shared vocabulary and rejects
+  // verbs outside it.
+  EXPECT_THROW((void)bench_from_json(
+                   "{\"verb\": \"gather\", \"sizes\": [1], \"series\": "
+                   "[{\"name\": \"A\", \"makespan_s\": [0.5]}]}"),
+               InvalidInput);
+}
+
+TEST(BenchCompare, VerbMismatchIsASingleProblem) {
+  const BenchReport base = small_report();
+  BenchReport cur = small_report();
+  cur.verb = "alltoall";
+  cur.series[0].makespan_s[0] *= 3.0;  // masked: the verb gates first
+  const auto problems = compare_bench(base, cur);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_EQ(problems[0],
+            "verb mismatch: baseline 'bcast' vs current 'alltoall'");
+}
+
 TEST(BenchCompare, IdenticalReportsPass) {
   const BenchReport r = small_report();
   EXPECT_TRUE(compare_bench(r, r).empty());

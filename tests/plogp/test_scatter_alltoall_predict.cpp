@@ -1,0 +1,236 @@
+// Closed-form pLogP scatter/alltoall predictions: hand-derived arithmetic
+// on tiny grids, schedule-order sensitivity (a worse injection order must
+// predict a strictly larger makespan), counter accounting, and the
+// degenerate shapes (singleton clusters, one cluster, one rank).
+
+#include "plogp/hierarchical_predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "topology/cluster.hpp"
+
+namespace gridcast::plogp {
+namespace {
+
+Params constant_params(Time L, Time gap) {
+  Params p;
+  p.L = L;
+  p.g = GapFunction::constant(gap);
+  p.os = GapFunction::constant(0.0);
+  p.orecv = GapFunction::constant(0.0);
+  return p;
+}
+
+Params bandwidth_params(Time L, double bw) {
+  Params p;
+  p.L = L;
+  p.g = GapFunction::affine(0.0, bw);
+  p.os = GapFunction::constant(0.0);
+  p.orecv = GapFunction::constant(0.0);
+  return p;
+}
+
+/// Three clusters of sizes {2, 3, 1}; constant intra gap 1s/L 0.5s; WAN
+/// links constant gap 10s, latency 2s — numbers chosen so every segment
+/// is hand-checkable.
+topology::Grid tiny_grid() {
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("a", 2, constant_params(0.5, 1.0));
+  cs.emplace_back("b", 3, constant_params(0.5, 1.0));
+  cs.emplace_back("c", 1, constant_params(0.5, 1.0));
+  topology::Grid grid(std::move(cs));
+  for (ClusterId i = 0; i < 3; ++i)
+    for (ClusterId j = static_cast<ClusterId>(i + 1); j < 3; ++j)
+      grid.set_link_symmetric(i, j, constant_params(2.0, 10.0));
+  grid.validate();
+  return grid;
+}
+
+TEST(ScatterPredict, HandCheckedOnConstantGaps) {
+  const topology::Grid grid = tiny_grid();
+  const std::vector<ClusterId> order{1, 2};
+  const HierarchicalPrediction p =
+      predict_hierarchical_scatter(grid, 0, KiB(64), order);
+
+  // Root NIC: inject cluster 1's aggregate (gap 10), then cluster 2's
+  // (gap 10), then the local block (intra gap 1).
+  //   cluster 1: arrives 10 + 2 = 12; fan-out (3-1)*1 + 0.5 → 14.5
+  //   cluster 2: arrives 20 + 2 = 22; singleton → 22
+  //   cluster 0: last WAN injection ends at 20; local at 20 + 1 + 0.5
+  ASSERT_EQ(p.cluster_finish.size(), 3u);
+  EXPECT_NEAR(p.cluster_finish[1], 14.5, 1e-12);
+  EXPECT_NEAR(p.cluster_finish[2], 22.0, 1e-12);
+  EXPECT_NEAR(p.cluster_finish[0], 21.5, 1e-12);
+  EXPECT_NEAR(p.completion, 22.0, 1e-12);
+
+  // Counters: 2 WAN aggregates + 2 locals in cluster 1 + 1 local at root.
+  EXPECT_EQ(p.messages, 5u);
+  EXPECT_EQ(p.wan_messages, 2u);
+  EXPECT_EQ(p.wan_bytes, Bytes{3} * KiB(64) + Bytes{1} * KiB(64));
+  EXPECT_EQ(p.bytes, p.wan_bytes + Bytes{3} * KiB(64));
+}
+
+TEST(ScatterPredict, WorseOrderPredictsStrictlyLargerMakespan) {
+  // Two remote clusters: a big aggregate over a slow link and a singleton
+  // over a fast one.  Serving the singleton first delays the slow
+  // transfer that dominates the makespan — strictly worse.
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("root", 1, constant_params(0.0, 1.0));
+  cs.emplace_back("big", 8, bandwidth_params(0.1, 1e6));
+  cs.emplace_back("tiny", 1, constant_params(0.0, 1.0));
+  topology::Grid grid(std::move(cs));
+  grid.set_link_symmetric(0, 1, bandwidth_params(0.5, 1e6));  // slow WAN
+  grid.set_link_symmetric(0, 2, bandwidth_params(0.5, 1e8));  // fast WAN
+  grid.set_link_symmetric(1, 2, bandwidth_params(0.5, 1e7));
+  grid.validate();
+
+  const Bytes block = MiB(1);
+  const std::vector<ClusterId> good{1, 2};
+  const std::vector<ClusterId> bad{2, 1};
+  const Time t_good =
+      predict_hierarchical_scatter(grid, 0, block, good).completion;
+  const Time t_bad =
+      predict_hierarchical_scatter(grid, 0, block, bad).completion;
+  EXPECT_LT(t_good, t_bad);
+}
+
+TEST(ScatterPredict, SingletonRootHasZeroLocalFinish) {
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("r", 1, constant_params(0.0, 1.0));
+  cs.emplace_back("x", 2, constant_params(0.25, 1.0));
+  topology::Grid grid(std::move(cs));
+  grid.set_link_symmetric(0, 1, constant_params(1.0, 3.0));
+  grid.validate();
+  const std::vector<ClusterId> order{1};
+  const HierarchicalPrediction p =
+      predict_hierarchical_scatter(grid, 0, KiB(4), order);
+  EXPECT_EQ(p.cluster_finish[0], 0.0);
+  // WAN: 3 + 1 = 4; fan-out: + 1 + 0.25.
+  EXPECT_NEAR(p.cluster_finish[1], 5.25, 1e-12);
+}
+
+TEST(ScatterPredict, RejectsMalformedOrders) {
+  const topology::Grid grid = tiny_grid();
+  EXPECT_THROW((void)predict_hierarchical_scatter(
+                   grid, 0, KiB(1), std::vector<ClusterId>{1, 1}),
+               LogicError);
+  EXPECT_THROW((void)predict_hierarchical_scatter(
+                   grid, 0, KiB(1), std::vector<ClusterId>{1}),
+               LogicError);
+  EXPECT_THROW((void)predict_hierarchical_scatter(
+                   grid, 0, KiB(1), std::vector<ClusterId>{0, 1, 2}),
+               LogicError);
+}
+
+// ------------------------------------------------------------- alltoall
+
+std::vector<std::vector<ClusterId>> ascending_dest_order(std::size_t n) {
+  std::vector<std::vector<ClusterId>> order(n);
+  for (ClusterId c = 0; c < n; ++c)
+    for (ClusterId d = 0; d < n; ++d)
+      if (d != c) order[c].push_back(d);
+  return order;
+}
+
+TEST(AlltoallPredict, HandCheckedOnTwoSymmetricClusters) {
+  // Two clusters of two ranks; intra gap 1/L 0; WAN gap 10/L 1, all
+  // constant.  n = 4, block anything (gaps are size-free).
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("a", 2, constant_params(0.0, 1.0));
+  cs.emplace_back("b", 2, constant_params(0.0, 1.0));
+  topology::Grid grid(std::move(cs));
+  grid.set_link_symmetric(0, 1, constant_params(1.0, 10.0));
+  grid.validate();
+
+  const HierarchicalPrediction p =
+      predict_hierarchical_alltoall(grid, KiB(1), ascending_dest_order(2));
+
+  // Per cluster: intra exchange busies each NIC for 1 (one peer) and the
+  // last intra block lands at 1.  The gather message leaves behind it:
+  // ready = 1 + 1 + 0 = 2.  The aggregate injection ends at 2 + 10 = 12,
+  // lands at 13; the forward to the one local ends at 13 + 1, landing at
+  // 14 (intra L = 0).  Symmetric for both clusters.
+  EXPECT_NEAR(p.cluster_finish[0], 14.0, 1e-12);
+  EXPECT_NEAR(p.cluster_finish[1], 14.0, 1e-12);
+  EXPECT_NEAR(p.completion, 14.0, 1e-12);
+
+  // Counters: intra size·(size−1) = 2 per cluster, gather 1 per cluster,
+  // 2 WAN aggregates, 1 forward per cluster → 10 total.
+  EXPECT_EQ(p.messages, 10u);
+  EXPECT_EQ(p.wan_messages, 2u);
+  EXPECT_EQ(p.wan_bytes, 2u * Bytes{4} * KiB(1));
+}
+
+TEST(AlltoallPredict, WorseOrderPredictsStrictlyLargerMakespan) {
+  // Three clusters; cluster 0 owes a huge aggregate to the distant
+  // cluster 1 and a cheap one to cluster 2.  Injecting the cheap one
+  // first delays the dominant transfer.
+  std::vector<topology::Cluster> cs;
+  cs.emplace_back("a", 4, bandwidth_params(0.01, 1e8));
+  cs.emplace_back("b", 4, bandwidth_params(0.01, 1e8));
+  cs.emplace_back("c", 1, bandwidth_params(0.01, 1e8));
+  topology::Grid grid(std::move(cs));
+  grid.set_link_symmetric(0, 1, bandwidth_params(0.5, 1e6));
+  grid.set_link_symmetric(0, 2, bandwidth_params(0.1, 1e8));
+  grid.set_link_symmetric(1, 2, bandwidth_params(0.1, 1e8));
+  grid.validate();
+
+  auto good = ascending_dest_order(3);   // cluster 0 injects 1 then 2
+  auto bad = good;
+  std::swap(bad[0][0], bad[0][1]);       // cluster 0 injects 2 then 1
+  const Bytes block = MiB(1);
+  const Time t_good =
+      predict_hierarchical_alltoall(grid, block, good).completion;
+  const Time t_bad =
+      predict_hierarchical_alltoall(grid, block, bad).completion;
+  EXPECT_LT(t_good, t_bad);
+}
+
+TEST(AlltoallPredict, DegenerateShapes) {
+  // One cluster: the intra exchange is the whole operation.
+  {
+    std::vector<topology::Cluster> cs;
+    cs.emplace_back("only", 3, constant_params(0.5, 1.0));
+    topology::Grid grid(std::move(cs));
+    grid.validate();
+    const HierarchicalPrediction p = predict_hierarchical_alltoall(
+        grid, KiB(1), std::vector<std::vector<ClusterId>>(1));
+    EXPECT_NEAR(p.completion, 2.0 + 0.5, 1e-12);  // (3-1)·g + L
+    EXPECT_EQ(p.wan_messages, 0u);
+    EXPECT_EQ(p.messages, 6u);
+  }
+  // One rank total: nothing moves.
+  {
+    std::vector<topology::Cluster> cs;
+    cs.emplace_back("solo", 1, constant_params(0.0, 1.0));
+    topology::Grid grid(std::move(cs));
+    grid.validate();
+    const HierarchicalPrediction p = predict_hierarchical_alltoall(
+        grid, KiB(1), std::vector<std::vector<ClusterId>>(1));
+    EXPECT_EQ(p.completion, 0.0);
+    EXPECT_EQ(p.messages, 0u);
+  }
+}
+
+TEST(AlltoallPredict, RejectsMalformedDestOrders) {
+  const topology::Grid grid = tiny_grid();
+  auto order = ascending_dest_order(3);
+  EXPECT_THROW((void)predict_hierarchical_alltoall(
+                   grid, KiB(1),
+                   std::vector<std::vector<ClusterId>>(2)),
+               LogicError);
+  auto dup = order;
+  dup[1] = {0, 0, 2};
+  EXPECT_THROW((void)predict_hierarchical_alltoall(grid, KiB(1), dup),
+               LogicError);
+  auto missing = order;
+  missing[2] = {0};
+  EXPECT_THROW((void)predict_hierarchical_alltoall(grid, KiB(1), missing),
+               LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::plogp

@@ -5,6 +5,7 @@
 //
 //   gridcast_race --sched=FlatTree,ECEF-LAT --backend=plogp --out=race.json
 //   gridcast_race --sched=all --backend=sim --shards=2 --shard=0 --out=s0.json
+//   gridcast_race --sched=all --verb=scatter --backend=sim --out=scatter.json
 //   gridcast_race --race --clusters=2-10 --iters=10000 --out=fig1.json
 //   gridcast_race --race --backend=sim --realise --out=fig1_measured.json
 //   gridcast_race --merge race.json s0.json s1.json
