@@ -148,8 +148,12 @@ AlltoallResult hierarchical_alltoall_over(
     }
     for (NodeId l = 1; l < size; ++l) {
       const NodeId src = grid.global_rank(c, l);
+      // maybe_exchange is captured by reference: it (and gathered) outlive
+      // every delivery, because collect() below drains the engine before
+      // this frame returns.  Copying it would exceed the inline handler
+      // capacity.
       net.send(src, coord(c), remote_blocks,
-               [gathered, maybe_exchange, c](Time) {
+               [&maybe_exchange, gathered, c](Time) {
                  ++(*gathered)[c];
                  maybe_exchange(c);
                });

@@ -1,6 +1,7 @@
 #include "collective/bcast.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "support/error.hpp"

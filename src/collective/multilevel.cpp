@@ -1,6 +1,7 @@
 #include "collective/multilevel.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "support/error.hpp"

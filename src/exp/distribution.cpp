@@ -32,10 +32,10 @@ DistributionResult run_distribution(const std::vector<sched::Scheduler>& comps,
         for (const auto& c : comps)
           local.emplace_back(std::string(c.name()), cfg);
 
+        sched::Instance inst;  // storage reused across iterations
         for (std::size_t it = lo; it < hi; ++it) {
           Rng rng = Rng::stream(cfg.seed, it);
-          const sched::Instance inst =
-              sample_instance(cfg.ranges, cfg.clusters, rng, cfg.root);
+          sample_instance_into(cfg.ranges, cfg.clusters, rng, cfg.root, inst);
           for (std::size_t s = 0; s < comps.size(); ++s) {
             const Time mk = comps[s].makespan(inst);
             local[s].stats.add(mk);

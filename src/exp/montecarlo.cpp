@@ -47,11 +47,11 @@ RaceResult run_race(const collective::Backend& backend,
         acc.makespan.resize(comps.size());
         acc.hits.assign(comps.size(), 0);
         std::vector<Time> mk(comps.size());
+        sched::Instance inst;  // storage reused across iterations
 
         for (std::size_t it = lo; it < hi; ++it) {
           Rng rng = Rng::stream(cfg.seed, it);
-          const sched::Instance inst =
-              sample_instance(cfg.ranges, cfg.clusters, rng, cfg.root);
+          sample_instance_into(cfg.ranges, cfg.clusters, rng, cfg.root, inst);
 
           Time best = std::numeric_limits<Time>::infinity();
           for (std::size_t s = 0; s < comps.size(); ++s) {

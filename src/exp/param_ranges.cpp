@@ -10,18 +10,18 @@ void ParamRanges::validate() const {
   GRIDCAST_ASSERT(0.0 <= T_lo && T_lo <= T_hi, "bad broadcast-time range");
 }
 
-sched::Instance sample_instance(const ParamRanges& ranges,
-                                std::size_t clusters, Rng& rng,
-                                ClusterId root) {
+void sample_instance_into(const ParamRanges& ranges, std::size_t clusters,
+                          Rng& rng, ClusterId root, sched::Instance& out) {
   ranges.validate();
   GRIDCAST_ASSERT(clusters >= 1, "need at least one cluster");
   GRIDCAST_ASSERT(root < clusters, "root out of range");
 
-  SquareMatrix<Time> g(clusters, 0.0);
-  SquareMatrix<Time> L(clusters, 0.0);
-  std::vector<Time> T(clusters, 0.0);
+  // The draw order (all T, then the shared gap, then per unordered pair
+  // gap before latency) is part of the reproducibility contract: any
+  // reordering changes every seeded experiment.
+  out.reshape(root, clusters);
   for (std::size_t c = 0; c < clusters; ++c)
-    T[c] = rng.uniform(ranges.T_lo, ranges.T_hi);
+    out.set_T(c, rng.uniform(ranges.T_lo, ranges.T_hi));
   const Time shared_gap = rng.uniform(ranges.g_lo, ranges.g_hi);
   for (std::size_t i = 0; i < clusters; ++i) {
     for (std::size_t j = i + 1; j < clusters; ++j) {
@@ -29,13 +29,17 @@ sched::Instance sample_instance(const ParamRanges& ranges,
                           ? shared_gap
                           : rng.uniform(ranges.g_lo, ranges.g_hi);
       const Time lv = rng.uniform(ranges.L_lo, ranges.L_hi);
-      g(i, j) = gv;
-      g(j, i) = gv;
-      L(i, j) = lv;
-      L(j, i) = lv;
+      out.set_symmetric_edge(i, j, gv, lv);
     }
   }
-  return sched::Instance(root, std::move(g), std::move(L), std::move(T));
+}
+
+sched::Instance sample_instance(const ParamRanges& ranges,
+                                std::size_t clusters, Rng& rng,
+                                ClusterId root) {
+  sched::Instance out;
+  sample_instance_into(ranges, clusters, rng, root, out);
+  return out;
 }
 
 }  // namespace gridcast::exp

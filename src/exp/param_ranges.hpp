@@ -54,4 +54,10 @@ struct ParamRanges {
                                               std::size_t clusters, Rng& rng,
                                               ClusterId root = 0);
 
+/// Same draws, refilling `out` in place — the Monte-Carlo loops' variant,
+/// which reuses the matrices' storage across iterations.  Draw order is
+/// identical to sample_instance, so seeded results do not change.
+void sample_instance_into(const ParamRanges& ranges, std::size_t clusters,
+                          Rng& rng, ClusterId root, sched::Instance& out);
+
 }  // namespace gridcast::exp

@@ -434,6 +434,7 @@ io::BenchReport run_race_grid(const RaceGridSpec& spec, ThreadPool& pool) {
   pool.parallel_for(
       n_points * n_blocks, [&](std::size_t lo, std::size_t hi) {
         std::vector<Time> mk(n_comps);
+        sched::Instance drawn;  // storage reused across iterations
         for (std::size_t cell = lo; cell < hi; ++cell) {
           if (!spec.shard.owns(cell)) continue;
           const std::size_t p = cell / n_blocks;
@@ -448,8 +449,7 @@ io::BenchReport run_race_grid(const RaceGridSpec& spec, ThreadPool& pool) {
           std::vector<std::uint64_t> hits(n_comps, 0);
           for (std::uint64_t it = it_lo; it < it_hi; ++it) {
             Rng rng = Rng::stream(race_instance_seed(spec.seed, n), it);
-            const sched::Instance drawn =
-                sample_instance(spec.ranges, n, rng, spec.root);
+            sample_instance_into(spec.ranges, n, rng, spec.root, drawn);
 
             // The realised path executes on a per-draw synthetic grid; the
             // heuristics then see the instance *derived* from that grid —
@@ -732,6 +732,9 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
       cli.tolerances.makespan_rtol = parse_double(value_of(arg), "--rtol");
     } else if (key == "--wall-tol") {
       cli.tolerances.wall_factor = parse_double(value_of(arg), "--wall-tol");
+    } else if (key == "--throughput-tol") {
+      cli.tolerances.throughput_factor =
+          parse_double(value_of(arg), "--throughput-tol");
     } else if (key == "--sched") {
       const std::string v = value_of(arg);
       if (lower(v) == "all") {
@@ -1051,7 +1054,7 @@ std::string race_cli_usage() {
       "                [--threads=N] [--shards=N --shard=k] [--out=FILE]\n"
       "  gridcast_race --merge out.json shard0.json shard1.json ...\n"
       "  gridcast_race --check=current.json --baseline=baseline.json\n"
-      "                [--rtol=1e-6] [--wall-tol=10]\n"
+      "                [--rtol=1e-6] [--wall-tol=10] [--throughput-tol=10]\n"
       "  gridcast_race --list-backends\n"
       "(--race runs the Figs. 1-4 Monte-Carlo races over random Table 2\n"
       " instances; grid-executing backends need --realise.  --mode=\n"

@@ -393,6 +393,9 @@ void write_bench_json(std::ostream& os, const BenchReport& r) {
         os << ", \"block_hits\": ";
         put_nested_array(os, r.series[s].block_hits);
       }
+    } else if (!r.series[s].throughput.empty()) {
+      os << ", \"throughput\": ";
+      put_double_array(os, r.series[s].throughput);
     } else {
       os << ", \"makespan_s\": ";
       put_double_array(os, r.series[s].makespan_s);
@@ -480,12 +483,14 @@ BenchReport bench_from_json(const std::string& text) {
           s.wall_time_s = as_number(*w, "wall_time_s");
         const JsonValue* mk = find(so, "makespan_s");
         const JsonValue* bs = find(so, "block_sum_s");
-        if ((mk == nullptr) == (bs == nullptr))
+        const JsonValue* tp = find(so, "throughput");
+        if ((mk != nullptr) + (bs != nullptr) + (tp != nullptr) != 1)
           throw InvalidInput("bench JSON: series '" + s.name +
-                             "' needs exactly one of 'makespan_s' and "
-                             "'block_sum_s'");
+                             "' needs exactly one of 'makespan_s', "
+                             "'block_sum_s' and 'throughput'");
         if (mk != nullptr) s.makespan_s = number_array(*mk, "makespan_s");
         if (bs != nullptr) s.block_sum_s = nested_number_array(*bs, "block_sum_s");
+        if (tp != nullptr) s.throughput = number_array(*tp, "throughput");
         if (const JsonValue* h = find(so, "hits")) {
           if (mk == nullptr)
             throw InvalidInput("bench JSON: series '" + s.name +
@@ -530,6 +535,14 @@ BenchReport bench_from_json(const std::string& text) {
       throw InvalidInput(
           "bench JSON: 'iterations'/'block_iters' are montecarlo-only keys");
   }
+  if (r.is_micro()) {
+    // The throughput lane has no collective verb and no shard partition:
+    // each series is one whole-machine measurement.
+    if (find(o, "verb") != nullptr)
+      throw InvalidInput("bench JSON: micro reports have no verb axis");
+    if (find(o, "shards") != nullptr || find(o, "shard") != nullptr)
+      throw InvalidInput("bench JSON: micro reports cannot be sharded");
+  }
 
   const bool shard_form = r.shard_form();
   if (shard_form) {
@@ -552,7 +565,13 @@ BenchReport bench_from_json(const std::string& text) {
     if (shard_form != !s.block_sum_s.empty())
       throw InvalidInput("bench JSON: series '" + s.name +
                          "' mixes shard-form and final-form data");
-    if (!shard_form) {
+    if (r.is_micro()) {
+      if (s.throughput.size() != r.sizes.size())
+        throw InvalidInput("bench JSON: micro series '" + s.name +
+                           "' needs 'throughput' covering the axis");
+    } else if (!s.throughput.empty()) {
+      throw InvalidInput("bench JSON: 'throughput' is micro-only");
+    } else if (!shard_form) {
       if (s.makespan_s.size() != r.sizes.size())
         throw InvalidInput("bench JSON: series '" + s.name + "' has " +
                            std::to_string(s.makespan_s.size()) +
@@ -690,6 +709,25 @@ std::vector<std::string> compare_bench(const BenchReport& baseline,
                 " vs current " +
                 std::to_string(static_cast<std::uint64_t>(cur->hits[i])));
       }
+    }
+    // Micro reports gate on throughput: a higher-is-better axis, so the
+    // regression test is a *lower bound* (current >= baseline / factor).
+    // Written so NaN on the current side fails.
+    if (!base.throughput.empty() &&
+        cur->throughput.size() != base.throughput.size()) {
+      add("series '" + base.name + "' is missing throughput");
+      continue;
+    }
+    for (std::size_t i = 0; i < base.throughput.size(); ++i) {
+      const double b = base.throughput[i];
+      const double c = cur->throughput[i];
+      if (std::isnan(b)) continue;  // baseline never measured this cell
+      const double floor = b / opts.throughput_factor;
+      if (!(c >= floor))
+        add("series '" + base.name + "' throughput regression at " + axis +
+            " " + std::to_string(baseline.sizes[i]) + ": baseline " +
+            std::to_string(b) + " items/s, current " + std::to_string(c) +
+            " items/s (floor " + std::to_string(floor) + " items/s)");
     }
     if (!std::isnan(base.wall_time_s)) {
       const double limit = base.wall_time_s * opts.wall_factor;

@@ -41,6 +41,10 @@ struct BenchSeries {
   std::vector<double> hits;        ///< per point; empty = not tracked
   std::vector<std::vector<double>> block_sum_s;  ///< [point][block]
   std::vector<std::vector<double>> block_hits;   ///< [point][block]
+  /// Micro-throughput reports (`bench == "micro"`) only: items per second
+  /// at each axis point (events/sec, sends/sec, ...).  Replaces
+  /// `makespan_s` for that kind; empty everywhere else.
+  std::vector<double> throughput;
 };
 
 /// A full report: the sweep axis, per-series results, and enough metadata
@@ -55,8 +59,15 @@ struct BenchSeries {
 /// Monte-Carlo depth per point (`iterations`, always) and the block size
 /// of the deterministic shard partition (`block_iters`, shard-form reports
 /// only — merged reports drop it).
+/// A third kind, `bench == "micro"`, carries the simulator throughput
+/// lane: the axis is the per-run workload scale (scheduled events), every
+/// series reports `throughput` (items/sec) instead of `makespan_s`, and
+/// the CI gate is a *lower bound* (current >= baseline / throughput_factor)
+/// because wall-clock throughput is machine-dependent where makespans are
+/// exact.  Micro reports refuse the sweep-only axes that cannot apply to
+/// them: verb, sharding, and Monte-Carlo iteration keys.
 struct BenchReport {
-  std::string bench = "race";      ///< "race" (size sweep) | "montecarlo"
+  std::string bench = "race";  ///< "race" (size sweep) | "montecarlo" | "micro"
   std::string grid;
   std::string mode = "predicted";  ///< "predicted" | "measured"
   /// The collective the sweep raced: "bcast" | "scatter" | "alltoall"
@@ -81,6 +92,8 @@ struct BenchReport {
   [[nodiscard]] bool is_montecarlo() const noexcept {
     return bench == "montecarlo";
   }
+  /// Micro-throughput report (workload axis, throughput series)?
+  [[nodiscard]] bool is_micro() const noexcept { return bench == "micro"; }
   /// Carries per-block shard partials instead of final per-point values?
   [[nodiscard]] bool shard_form() const noexcept;
   /// Number of iteration blocks per point: ceil(iterations / block_iters).
@@ -111,6 +124,10 @@ struct BenchCompareOptions {
   /// (generous: CI machines are slower and noisier than the one that
   /// recorded the baseline).
   double wall_factor = 10.0;
+  /// Micro reports: a series regresses when its throughput falls below
+  /// baseline / throughput_factor (same generosity, opposite direction —
+  /// throughput is a higher-is-better axis).
+  double throughput_factor = 10.0;
 };
 
 /// Compare `current` against `baseline`; returns one human-readable
@@ -118,7 +135,8 @@ struct BenchCompareOptions {
 /// axis mismatch, shard-form (unmerged) inputs, missing/extra series,
 /// uncomputed (NaN) cells, makespan drift past `makespan_rtol`, hit-count
 /// drift (exact: hits are deterministic integers), wall-time regression
-/// past `wall_factor`.
+/// past `wall_factor`, throughput shortfall below baseline /
+/// `throughput_factor` (micro reports).
 [[nodiscard]] std::vector<std::string> compare_bench(
     const BenchReport& baseline, const BenchReport& current,
     const BenchCompareOptions& opts = {});

@@ -1,7 +1,7 @@
 #include "plogp/hierarchical_predict.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -14,7 +14,8 @@ namespace {
 /// executed all-to-all's `if (d == c) continue`).
 void check_order(std::span<const ClusterId> order, std::size_t clusters,
                  ClusterId self, bool allow_self) {
-  std::vector<char> seen(clusters, 0);
+  thread_local std::vector<char> seen;  // scratch: called once per cluster
+  seen.assign(clusters, 0);
   std::size_t covered = 0;
   for (const ClusterId c : order) {
     GRIDCAST_ASSERT(c < clusters, "order names a cluster out of range");
@@ -101,6 +102,23 @@ struct SegmentLater {
   }
 };
 
+/// Per-thread scratch for predict_hierarchical_alltoall: the alltoall
+/// sweeps call it once per (instance, size) cell, and these four buffers
+/// were the per-call allocations.  `events` is a binary heap managed with
+/// std::push_heap/pop_heap — the same ordering the old priority_queue
+/// used, minus its per-call container.
+struct AlltoallScratch {
+  std::vector<Time> nic;
+  std::vector<Time> intra_last;
+  std::vector<Time> last_delivery;
+  std::vector<SegmentEvent> events;
+};
+
+AlltoallScratch& alltoall_scratch() {
+  thread_local AlltoallScratch s;
+  return s;
+}
+
 }  // namespace
 
 HierarchicalPrediction predict_hierarchical_alltoall(
@@ -120,9 +138,13 @@ HierarchicalPrediction predict_hierarchical_alltoall(
   // Closed-form per-cluster segments: the intra pairwise exchange keeps
   // every NIC busy for (size−1)·g_c(block) and lands the last block
   // L_c later; the gather message leaves right behind the intra sends.
-  std::vector<Time> nic(n_clusters, 0.0);     // coordinator NIC free time
-  std::vector<Time> intra_last(n_clusters, 0.0);
-  std::vector<Time> last_delivery(n_clusters, 0.0);  // WAN + fan-out arrivals
+  AlltoallScratch& scratch = alltoall_scratch();
+  std::vector<Time>& nic = scratch.nic;  // coordinator NIC free time
+  std::vector<Time>& intra_last = scratch.intra_last;
+  std::vector<Time>& last_delivery = scratch.last_delivery;  // WAN + fan-out
+  nic.assign(n_clusters, 0.0);
+  intra_last.assign(n_clusters, 0.0);
+  last_delivery.assign(n_clusters, 0.0);
   for (ClusterId c = 0; c < n_clusters; ++c) {
     const std::uint32_t size = grid.cluster(c).size();
     if (size <= 1) continue;
@@ -134,8 +156,8 @@ HierarchicalPrediction predict_hierarchical_alltoall(
   }
 
   std::uint64_t seq = 0;
-  std::priority_queue<SegmentEvent, std::vector<SegmentEvent>, SegmentLater>
-      events;
+  std::vector<SegmentEvent>& events = scratch.events;
+  events.clear();
 
   // Coordinator c's aggregate injections, serialized on its NIC from
   // `ready` on; each arrival event carries the link latency.
@@ -149,7 +171,8 @@ HierarchicalPrediction predict_hierarchical_alltoall(
       const plogp::Params& link = grid.link(c, d);
       const Time start = std::max(ready, nic[c]);
       nic[c] = start + link.g(aggregate);
-      events.push({nic[c] + link.L, seq++, SegmentEvent::kArrive, c, d});
+      events.push_back({nic[c] + link.L, seq++, SegmentEvent::kArrive, c, d});
+      std::push_heap(events.begin(), events.end(), SegmentLater{});
       r.messages += 1;
       r.wan_messages += 1;
       r.bytes += aggregate;
@@ -171,7 +194,8 @@ HierarchicalPrediction predict_hierarchical_alltoall(
     // Every local's NIC frees at the same time (identical intra duty), so
     // all gather aggregates land together — that moment is the ready time.
     const Time ready = nic[c] + intra.g(remote_blocks) + intra.L;
-    events.push({ready, seq++, SegmentEvent::kInject, c, 0});
+    events.push_back({ready, seq++, SegmentEvent::kInject, c, 0});
+    std::push_heap(events.begin(), events.end(), SegmentLater{});
     r.messages += size - 1;
     r.bytes += static_cast<Bytes>(size - 1) * remote_blocks;
   }
@@ -180,8 +204,9 @@ HierarchicalPrediction predict_hierarchical_alltoall(
   // contention between a coordinator's own injections and the fan-out of
   // inbound aggregates is exactly the executed interleaving.
   while (!events.empty()) {
-    const SegmentEvent ev = events.top();
-    events.pop();
+    std::pop_heap(events.begin(), events.end(), SegmentLater{});
+    const SegmentEvent ev = events.back();
+    events.pop_back();
     if (ev.kind == SegmentEvent::kInject) {
       inject(ev.c, ev.t);
       continue;

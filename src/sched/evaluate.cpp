@@ -11,11 +11,12 @@ namespace {
 constexpr Time kNotYet = std::numeric_limits<Time>::infinity();
 }
 
-EvalState::EvalState(const Instance& inst)
-    : inst_(inst),
-      ready_(inst.clusters(), kNotYet),
-      nic_free_(inst.clusters(), 0.0),
-      last_busy_(inst.clusters(), 0.0) {
+void EvalState::reset(const Instance& inst) {
+  inst_ = &inst;
+  ready_.assign(inst.clusters(), kNotYet);
+  nic_free_.assign(inst.clusters(), 0.0);
+  last_busy_.assign(inst.clusters(), 0.0);
+  log_.clear();
   ready_[inst.root()] = 0.0;
 }
 
@@ -31,7 +32,7 @@ bool EvalState::has_message(ClusterId i) const {
 }
 
 Time EvalState::arrival_if(ClusterId s, ClusterId r) const {
-  return send_start(s) + inst_.transfer(s, r);
+  return send_start(s) + inst_->transfer(s, r);
 }
 
 Transfer EvalState::apply(ClusterId s, ClusterId r) {
@@ -43,9 +44,9 @@ Transfer EvalState::apply(ClusterId s, ClusterId r) {
   t.sender = s;
   t.receiver = r;
   t.start = send_start(s);
-  t.arrival = t.start + inst_.transfer(s, r);
+  t.arrival = t.start + inst_->transfer(s, r);
 
-  nic_free_[s] = t.start + inst_.g(s, r);
+  nic_free_[s] = t.start + inst_->g(s, r);
   last_busy_[s] = std::max(last_busy_[s], nic_free_[s]);
   ready_[r] = t.arrival;
   last_busy_[r] = std::max(last_busy_[r], t.arrival);
@@ -55,10 +56,10 @@ Transfer EvalState::apply(ClusterId s, ClusterId r) {
 
 Schedule EvalState::finish(CompletionModel model) const {
   Schedule s;
-  s.root = inst_.root();
+  s.root = inst_->root();
   s.transfers = log_;
-  s.cluster_finish.resize(inst_.clusters());
-  for (ClusterId c = 0; c < inst_.clusters(); ++c) {
+  s.cluster_finish.resize(inst_->clusters());
+  for (ClusterId c = 0; c < inst_->clusters(); ++c) {
     // A cluster that never received does not finish; callers only invoke
     // finish() on complete orders (evaluate_order enforces coverage), but
     // partial finishes are allowed for optimal-search lower bounds.
@@ -68,7 +69,7 @@ Schedule EvalState::finish(CompletionModel model) const {
     }
     const Time base =
         model == CompletionModel::kEager ? ready_[c] : last_busy_[c];
-    s.cluster_finish[c] = base + inst_.T(c);
+    s.cluster_finish[c] = base + inst_->T(c);
   }
   s.makespan =
       *std::max_element(s.cluster_finish.begin(), s.cluster_finish.end());
@@ -79,7 +80,10 @@ Schedule evaluate_order(const Instance& inst, std::span<const SendPair> order,
                         CompletionModel model) {
   GRIDCAST_ASSERT(order.size() == inst.clusters() - 1,
                   "order must contain exactly one transfer per non-root");
-  EvalState st(inst);
+  // Hot path of every heuristic and Monte-Carlo iteration: keep the state's
+  // vectors alive per thread instead of reallocating them per evaluation.
+  thread_local EvalState st;
+  st.reset(inst);
   for (const auto& [s, r] : order) st.apply(s, r);
   const Schedule sched = st.finish(model);
   const std::string why = describe_invalid(sched, inst.clusters());

@@ -50,7 +50,15 @@ enum class CompletionModel : std::uint8_t {
 /// drift between selection and scoring).
 class EvalState {
  public:
-  explicit EvalState(const Instance& inst);
+  /// An unbound state; call reset() before use.  Exists so hot loops can
+  /// keep one EvalState and rebind it per instance, reusing its vectors.
+  EvalState() = default;
+
+  explicit EvalState(const Instance& inst) { reset(inst); }
+
+  /// Rebind to `inst` and restore the initial timing state (only the root
+  /// holds the payload, all NICs free), reusing allocated storage.
+  void reset(const Instance& inst);
 
   /// Earliest moment cluster `i` could start a new injection now.
   [[nodiscard]] Time send_start(ClusterId i) const;
@@ -68,7 +76,7 @@ class EvalState {
       CompletionModel model = CompletionModel::kEager) const;
 
  private:
-  const Instance& inst_;
+  const Instance* inst_ = nullptr;  ///< bound instance (never null after reset)
   std::vector<Time> ready_;      ///< payload arrival; infinity = not yet
   std::vector<Time> nic_free_;   ///< NIC available for the next injection
   std::vector<Time> last_busy_;  ///< last inter-cluster involvement

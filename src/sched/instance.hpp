@@ -19,10 +19,40 @@ namespace gridcast::sched {
 
 class Instance {
  public:
+  /// An empty instance (0 clusters) to be filled via reshape(); exists so
+  /// samplers can reuse one Instance's storage across iterations.
+  Instance() = default;
+
   /// Build from explicit matrices; g and L are indexed [sender][receiver],
   /// diagonals ignored.  `T[c]` is cluster c's internal broadcast time.
   Instance(ClusterId root, SquareMatrix<Time> g, SquareMatrix<Time> L,
            std::vector<Time> T);
+
+  /// Re-root and resize to `clusters` clusters with zeroed parameters,
+  /// reusing the existing matrix/vector storage.
+  void reshape(ClusterId root, std::size_t clusters) {
+    GRIDCAST_ASSERT(clusters >= 1 && root < clusters,
+                    "root cluster out of range");
+    root_ = root;
+    g_.assign(clusters, 0.0);
+    L_.assign(clusters, 0.0);
+    T_.assign(clusters, 0.0);
+  }
+
+  /// Set the symmetric link parameters of the unordered pair {i, j}.
+  void set_symmetric_edge(ClusterId i, ClusterId j, Time g, Time L) {
+    GRIDCAST_ASSERT(i != j, "no self edges");
+    g_(i, j) = g;
+    g_(j, i) = g;
+    L_(i, j) = L;
+    L_(j, i) = L;
+  }
+
+  /// Set cluster c's internal broadcast time.
+  void set_T(ClusterId c, Time v) {
+    GRIDCAST_ASSERT(c < T_.size(), "cluster id out of range");
+    T_[c] = v;
+  }
 
   /// Derive the instance a grid poses for an m-byte broadcast rooted in
   /// cluster `root` (g from the link gap functions, T from each cluster's
@@ -58,7 +88,7 @@ class Instance {
   void validate() const;
 
  private:
-  ClusterId root_;
+  ClusterId root_ = 0;
   SquareMatrix<Time> g_;
   SquareMatrix<Time> L_;
   std::vector<Time> T_;

@@ -1,7 +1,6 @@
 #include "sched/schedule.hpp"
 
 #include <ostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,7 +19,6 @@ void Schedule::print(std::ostream& os) const {
 }
 
 std::string describe_invalid(const Schedule& s, std::size_t clusters) {
-  std::ostringstream why;
   if (s.root >= clusters) return "root out of range";
   if (s.cluster_finish.size() != clusters)
     return "finish vector size mismatch";

@@ -1,26 +1,180 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "support/error.hpp"
 
 namespace gridcast::sim {
 
+namespace {
+
+constexpr std::size_t kArity = 4;
+
+/// Cold-start amortization: arena chunks released by destroyed engines are
+/// parked per thread and handed to the next engine.  Monte-Carlo workers
+/// construct thousands of short-lived engines; without this the allocator
+/// returns the chunk memory to the OS on every destruction and each fresh
+/// engine pays a page fault per 4 KiB to get it back.  Chunks are uniform
+/// raw storage, so any engine can adopt any parked chunk.
+std::vector<std::unique_ptr<std::byte[]>>& chunk_pool() {
+  thread_local std::vector<std::unique_ptr<std::byte[]>> pool;
+  return pool;
+}
+constexpr std::size_t kChunkPoolCap = 128;  // per thread; excess is freed
+
+}  // namespace
+
+// Raw chunks come from plain operator new[]; the slots placement-constructed
+// inside them must not need more alignment than that provides.
+static_assert(alignof(Engine::Callback) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+              "callback slots over-aligned for raw chunk storage");
+
+Engine::~Engine() {
+  // Every slot below the high-water mark is a live Callback (free-listed
+  // slots are live-but-empty); chunks themselves are raw storage.
+  for (std::uint32_t s = 0; s < slots_; ++s) slot_ptr(s)->~Callback();
+  auto& pool = chunk_pool();
+  for (auto& c : store_)
+    if (pool.size() < kChunkPoolCap) pool.push_back(std::move(c));
+}
+
 void Engine::at(Time t, Callback cb) {
-  GRIDCAST_ASSERT(t + 1e-15 >= now_, "cannot schedule into the past");
+  // The single past-scheduling rule (see kPastSlack): reject anything more
+  // than the slack below now, clamp the rest up to now.
+  GRIDCAST_ASSERT(t + kPastSlack >= now_, "cannot schedule into the past");
   GRIDCAST_ASSERT(static_cast<bool>(cb), "null callback");
-  queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(cb)});
+
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    *slot_ptr(slot) = std::move(cb);
+  } else {
+    GRIDCAST_ASSERT(slots_ < std::numeric_limits<std::uint32_t>::max(),
+                    "event arena exhausted");
+    if ((static_cast<std::size_t>(slots_) >> kChunkShift) == store_.size()) {
+      auto& pool = chunk_pool();
+      if (!pool.empty()) {
+        store_.push_back(std::move(pool.back()));
+        pool.pop_back();
+      } else {
+        store_.push_back(std::make_unique_for_overwrite<std::byte[]>(
+            kChunkSize * sizeof(Callback)));
+      }
+    }
+    slot = slots_++;
+    std::byte* base = store_.back().get();
+    ::new (static_cast<void*>(base + (slot & (kChunkSize - 1)) *
+                                         sizeof(Callback)))
+        Callback(std::move(cb));
+  }
+
+  const Time tt = t < now_ ? now_ : t;
+  const std::uint64_t sq = seq_++;
+  // Monotone fast lane: an event at or after the lane's last entry keeps
+  // the lane sorted (equal times keep seq order because seq increases), so
+  // it can skip the heap entirely.
+  if (tail_head_ == tail_.size() || tt >= tail_.back().time) {
+    tail_.push_back(TailEntry{tt, sq, slot});
+  } else {
+    heap_time_.push_back(tt);
+    heap_seq_.push_back(sq);
+    heap_slot_.push_back(slot);
+    sift_up(heap_time_.size() - 1);
+  }
+}
+
+void Engine::sift_up(std::size_t i) noexcept {
+  const Time t = heap_time_[i];
+  const std::uint64_t sq = heap_seq_[i];
+  const std::uint32_t sl = heap_slot_[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) / kArity;
+    if (before(p, t, sq)) break;  // parent already fires first
+    heap_time_[i] = heap_time_[p];
+    heap_seq_[i] = heap_seq_[p];
+    heap_slot_[i] = heap_slot_[p];
+    i = p;
+  }
+  heap_time_[i] = t;
+  heap_seq_[i] = sq;
+  heap_slot_[i] = sl;
+}
+
+void Engine::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_time_.size();
+  const Time t = heap_time_[i];
+  const std::uint64_t sq = heap_seq_[i];
+  const std::uint32_t sl = heap_slot_[i];
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t m = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(c, heap_time_[m], heap_seq_[m])) m = c;
+    if (!before(m, t, sq)) break;  // hole's entry fires before all children
+    heap_time_[i] = heap_time_[m];
+    heap_seq_[i] = heap_seq_[m];
+    heap_slot_[i] = heap_slot_[m];
+    i = m;
+  }
+  heap_time_[i] = t;
+  heap_seq_[i] = sq;
+  heap_slot_[i] = sl;
+}
+
+void Engine::pop_root() noexcept {
+  const std::size_t n = heap_time_.size() - 1;
+  if (n > 0) {
+    heap_time_[0] = heap_time_[n];
+    heap_seq_[0] = heap_seq_[n];
+    heap_slot_[0] = heap_slot_[n];
+  }
+  heap_time_.pop_back();
+  heap_seq_.pop_back();
+  heap_slot_.pop_back();
+  if (n > 1) sift_down(0);
 }
 
 Time Engine::run() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast-free copy of
-    // the callback is wasteful, so pop into a local through extraction.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.t;
+  for (;;) {
+    const bool tail_live = tail_head_ < tail_.size();
+    const bool heap_live = !heap_time_.empty();
+    if (!tail_live && !heap_live) break;
+
+    // The global minimum under (time, seq) is the earlier of the heap root
+    // and the tail front — the lane is sorted, so its front is its minimum.
+    bool use_tail = tail_live;
+    if (tail_live && heap_live) {
+      const TailEntry& f = tail_[tail_head_];
+      const Time ht = heap_time_[0];
+      use_tail = f.time < ht || (f.time == ht && f.seq < heap_seq_[0]);
+    }
+
+    std::uint32_t slot;
+    if (use_tail) {
+      now_ = tail_[tail_head_].time;
+      slot = tail_[tail_head_].slot;
+      if (++tail_head_ == tail_.size()) {
+        tail_.clear();
+        tail_head_ = 0;
+      }
+    } else {
+      now_ = heap_time_[0];
+      slot = heap_slot_[0];
+      pop_root();
+    }
+
     ++processed_;
-    ev.cb();
+    // Move the callback out before invoking: the slot is recycled into the
+    // free list first, so a callback scheduling new events may legitimately
+    // be handed its own (already vacated) slot.
+    Callback cb = std::move(*slot_ptr(slot));
+    free_.push_back(slot);
+    cb();
   }
   return now_;
 }

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "support/types.hpp"
 
 /// Discrete-event simulation core.
@@ -13,16 +15,52 @@
 /// (time, insertion-sequence) order so simultaneous events fire
 /// deterministically.  This is the substrate substituting for the paper's
 /// live GRID5000 runs (DESIGN.md substitution table).
+///
+/// Layout (the simulator fast path): the calendar is a flat 4-ary min-heap
+/// over parallel `(time, seq, slot)` arrays — structure-of-arrays, so sift
+/// operations move 20 trivially-copyable bytes instead of a type-erased
+/// callable — plus a monotone *tail lane*: an insertion scheduled at or
+/// after the latest tail entry is appended to a sorted FIFO instead of the
+/// heap, and the next event is whichever of (heap root, tail front) wins
+/// the (time, seq) comparison.  Simulations schedule mostly forward in
+/// time, so the common case is an O(1) append and an O(1) sequential pop;
+/// the heap only absorbs the out-of-order residue.  Either way the pop
+/// order is exactly the (time, seq) total order, so reports are
+/// byte-identical to the previous `std::priority_queue` engine.
+///
+/// Callbacks live in an arena of fixed-capacity `InlineCallback` slots
+/// recycled through a free list.  The arena grows in fixed-size chunks, so
+/// existing slots never move (no per-element relocation on growth) and the
+/// steady-state event loop (schedule → pop → invoke) performs zero heap
+/// allocations per event; only growth beyond any previous high-water mark
+/// allocates.
 namespace gridcast::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capacity for event callbacks.  Sized for the largest executor
+  /// capture list (Network's delivery wrapper: a DeliveryHandler plus the
+  /// delivery time); exceeding it is a compile-time error at the call site.
+  static constexpr std::size_t kCallbackCapacity = 96;
+  using Callback = InlineCallback<void(), kCallbackCapacity>;
 
-  /// Schedule `cb` at absolute time `t` (>= now, enforced).
+  /// Scheduling-into-the-past rule: `at(t)` requires `t + kPastSlack >=
+  /// now()`; anything earlier throws.  A `t` within the slack but below
+  /// `now()` (float round-off from accumulated timing sums) is clamped to
+  /// `now()` and fires after events already scheduled at `now()` (its
+  /// insertion sequence is later).  One rule, applied in one place.
+  static constexpr Time kPastSlack = 1e-15;
+
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Schedule `cb` at absolute time `t` (>= now - kPastSlack, enforced;
+  /// clamped to now).
   void at(Time t, Callback cb);
 
-  /// Schedule `cb` after a delay (>= 0) from now.
+  /// Schedule `cb` after a delay (>= -kPastSlack) from now.
   void after(Time delay, Callback cb) { at(now_ + delay, std::move(cb)); }
 
   /// Current simulation time (0 before run()).
@@ -35,21 +73,55 @@ class Engine {
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
 
   /// Events currently pending.
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_time_.size() + (tail_.size() - tail_head_);
+  }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
-    }
-  };
+  // Arena chunk geometry: slots never move once created, so growth costs
+  // one allocation (of raw storage — slots are placement-constructed on
+  // first use), never a relocation or initialization sweep of the chunk.
+  static constexpr std::size_t kChunkShift = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  [[nodiscard]] Callback* slot_ptr(std::uint32_t s) noexcept {
+    std::byte* base = store_[s >> kChunkShift].get();
+    return std::launder(reinterpret_cast<Callback*>(
+        base + (s & (kChunkSize - 1)) * sizeof(Callback)));
+  }
+
+  /// Entry `a` fires strictly before the (time, seq) pair of `b`.
+  [[nodiscard]] bool before(std::size_t a, Time t,
+                            std::uint64_t seq) const noexcept {
+    return heap_time_[a] < t || (heap_time_[a] == t && heap_seq_[a] < seq);
+  }
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void pop_root() noexcept;
+
+  // 4-ary min-heap on (time, seq), SoA: parallel arrays move cheap PODs.
+  std::vector<Time> heap_time_;
+  std::vector<std::uint64_t> heap_seq_;
+  std::vector<std::uint32_t> heap_slot_;
+  // Monotone tail lane: sorted by construction (appends only at or after
+  // the last entry), consumed from tail_head_.  Entries before tail_head_
+  // are dead; the array is compacted whenever the lane drains.  Unlike the
+  // heap, the lane is AoS: it is only ever appended to and scanned
+  // sequentially, so one vector means one capacity check per insert.
+  struct TailEntry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  std::vector<TailEntry> tail_;
+  std::size_t tail_head_ = 0;
+  // Chunked arena of callback slots + free list (indices into the arena).
+  // Chunks are raw storage; every slot index below slots_ holds a live
+  // (possibly empty) Callback, constructed the first time it was handed out.
+  std::vector<std::unique_ptr<std::byte[]>> store_;
+  std::uint32_t slots_ = 0;  // slots ever constructed (high-water mark)
+  std::vector<std::uint32_t> free_;
+
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

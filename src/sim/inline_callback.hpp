@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// Fixed-capacity, allocation-free callable — the event calendar's
+/// replacement for `std::function`.
+///
+/// The simulator schedules millions of short-lived callbacks; a
+/// heap-allocating type-erased wrapper turns the event loop allocation-bound.
+/// `InlineCallback` stores the callable in a fixed small buffer (no heap
+/// fallback): a callable that does not fit is a *compile-time* error, which
+/// keeps executor capture lists honest instead of silently regressing the
+/// hot path.  Move-only; dispatch is two function pointers (invoke +
+/// relocate/destroy), so a slot is `2 * sizeof(void*) + Capacity` bytes and
+/// trivially storable in an arena.
+namespace gridcast::sim {
+
+template <typename Sig, std::size_t Capacity>
+class InlineCallback;  // primary template intentionally undefined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineCallback<R(Args...), Capacity> {
+ public:
+  InlineCallback() noexcept = default;
+
+  /// Wrap any callable invocable as R(Args...).  The callable must fit the
+  /// inline buffer and be nothrow-move-constructible (slots relocate when
+  /// the arena grows).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit by design (lambda -> handler)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds InlineCallback capacity: shrink the "
+                  "capture list (capture by reference where the enclosing "
+                  "scope outlives engine().run()) or raise Capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callable must be nothrow move constructible");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* b, Args... a) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(b)))(
+          std::forward<Args>(a)...);
+    };
+    relocate_ = [](void* dst, void* src) noexcept {
+      Fn* p = std::launder(reinterpret_cast<Fn*>(src));
+      if (dst != nullptr) ::new (dst) Fn(std::move(*p));
+      p->~Fn();
+    };
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(o); }
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (relocate_ != nullptr) {
+      relocate_(nullptr, buf_);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  R operator()(Args... a) { return invoke_(buf_, std::forward<Args>(a)...); }
+
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+ private:
+  void move_from(InlineCallback& o) noexcept {
+    invoke_ = o.invoke_;
+    relocate_ = o.relocate_;
+    if (relocate_ != nullptr) {
+      relocate_(buf_, o.buf_);  // move-construct here, destroy source
+      o.invoke_ = nullptr;
+      o.relocate_ = nullptr;
+    }
+  }
+
+  using Invoke = R (*)(void*, Args...);
+  /// relocate(dst, src): move-construct src's callable into dst and destroy
+  /// src's; relocate(nullptr, src) destroys only.
+  using Relocate = void (*)(void*, void*) noexcept;
+
+  Invoke invoke_ = nullptr;
+  Relocate relocate_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace gridcast::sim

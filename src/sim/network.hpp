@@ -1,9 +1,9 @@
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/inline_callback.hpp"
 #include "support/rng.hpp"
 #include "support/types.hpp"
 #include "topology/grid.hpp"
@@ -20,6 +20,14 @@
 /// This intentionally includes the receive overhead the scheduling model
 /// omits — the residual between Fig. 5 (predicted) and Fig. 6 (measured)
 /// is real, and this is one of its sources.
+///
+/// The send path is allocation-free: delivery handlers are fixed-capacity
+/// `InlineCallback`s, the pLogP parameter set of every (cluster, cluster)
+/// pair is resolved once at construction, and a direct-mapped memo caches
+/// `g(m)` / `orecv(m)` per (pair, size) so a collective sending the same
+/// size thousands of times skips the gap-function binary search entirely.
+/// Cached values are the exact doubles the gap functions produce, so
+/// timings are bit-identical to the uncached path.
 namespace gridcast::sim {
 
 /// Multiplicative noise on gap and latency, per message.  `frac = 0`
@@ -37,6 +45,12 @@ struct SendTiming {
 
 class Network {
  public:
+  /// Inline capacity for delivery handlers.  Sized for the largest
+  /// executor capture list (the hierarchical all-to-all's coordinator
+  /// fan-out); exceeding it is a compile-time error at the call site.
+  static constexpr std::size_t kHandlerCapacity = 64;
+  using DeliveryHandler = InlineCallback<void(Time), kHandlerCapacity>;
+
   Network(const topology::Grid& grid, JitterConfig jitter,
           std::uint64_t seed);
 
@@ -49,7 +63,7 @@ class Network {
   /// (optional) fires when the receiver holds the payload.  Returns the
   /// decided timing.
   SendTiming send(NodeId from, NodeId to, Bytes m,
-                  std::function<void(Time)> on_delivered = {});
+                  DeliveryHandler on_delivered = {});
 
   /// NIC availability of a rank (for executors that need to sequence
   /// non-message work after sends).
@@ -72,7 +86,24 @@ class Network {
   /// Total payload bytes issued so far.
   [[nodiscard]] Bytes bytes_sent() const noexcept { return bytes_; }
 
+  /// Testing hook: re-run the gap-function lookups on every send instead
+  /// of consulting the (pair, size) memo.  Timings must stay bit-identical
+  /// either way — tests/sim/test_network.cpp pins that equivalence.
+  void disable_send_memo_for_test() noexcept { memo_enabled_ = false; }
+
  private:
+  /// One resolved (pair, size) -> {g(m), orecv(m)} association.  Entries
+  /// always hold a valid association (sentinel pair index = empty), so a
+  /// probe is a single key compare; collisions simply overwrite.
+  struct MemoEntry {
+    std::uint64_t pair;
+    Bytes size;
+    Time gap;
+    Time orecv;
+  };
+  static constexpr std::uint64_t kEmptyPair = ~std::uint64_t{0};
+  static constexpr std::size_t kMemoSlots = 128;  // power of two
+
   [[nodiscard]] double jitter_factor();
 
   const topology::Grid& grid_;
@@ -80,8 +111,15 @@ class Network {
   JitterConfig jitter_;
   Rng rng_;
   std::uint32_t ranks_;
+  std::size_t n_clusters_;
   std::vector<Time> nic_free_;
   std::vector<std::pair<ClusterId, NodeId>> locate_;  // cached per rank
+  // Resolved parameter set per ordered (from, to) cluster pair, indexed
+  // [from * n_clusters + to]; the diagonal points at the cluster's intra
+  // set.  Replaces a branch + matrix lookup per send.
+  std::vector<const plogp::Params*> pair_params_;
+  std::vector<MemoEntry> memo_;  // direct-mapped, kMemoSlots entries
+  bool memo_enabled_ = true;
   std::uint64_t messages_ = 0;
   std::uint64_t inter_messages_ = 0;
   Bytes bytes_ = 0;

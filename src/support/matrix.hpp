@@ -40,6 +40,14 @@ class SquareMatrix {
     for (auto& x : data_) x = v;
   }
 
+  /// Resize to n x n and fill with `v`, reusing existing storage (like
+  /// `std::vector::assign`) — the building block for per-iteration reuse
+  /// of cost matrices without reallocating.
+  void assign(std::size_t n, const T& v) {
+    n_ = n;
+    data_.assign(n * n, v);
+  }
+
   /// Symmetrise by copying the upper triangle onto the lower one.
   void mirror_upper() {
     for (std::size_t r = 0; r < n_; ++r)

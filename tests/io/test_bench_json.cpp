@@ -240,5 +240,119 @@ TEST(BenchCompare, MetadataMismatchFails) {
   EXPECT_NE(problems[0].find("size ladder mismatch"), std::string::npos);
 }
 
+// ---- The "micro" kind: simulator throughput lane (events/sec, sends/sec)
+// with a lower-bound gate instead of the exact-drift rules above.
+
+BenchReport micro_report() {
+  BenchReport r;
+  r.bench = "micro";
+  r.grid = "grid5000_testbed";
+  r.mode = "measured";
+  r.seed = 1;
+  r.jitter = 0.0;
+  r.sizes = {1000, 100000};
+  BenchSeries engine;
+  engine.name = "engine_events";
+  engine.throughput = {4.2e7, 3.9e7};
+  BenchSeries sends;
+  sends.name = "network_sends";
+  sends.throughput = {9.5e7, 1.05e8};
+  r.series = {engine, sends};
+  return r;
+}
+
+TEST(BenchJsonMicro, RoundTripIsByteIdentical) {
+  const BenchReport r = micro_report();
+  const std::string once = bench_to_json(r);
+  const std::string twice = bench_to_json(bench_from_json(once));
+  EXPECT_EQ(once, twice);
+  const BenchReport back = bench_from_json(once);
+  EXPECT_TRUE(back.is_micro());
+  ASSERT_EQ(back.series.size(), 2u);
+  EXPECT_EQ(back.series[0].throughput, r.series[0].throughput);
+}
+
+TEST(BenchJsonMicro, ThroughputMustCoverTheAxis) {
+  BenchReport r = micro_report();
+  r.series[0].throughput.pop_back();
+  EXPECT_THROW((void)bench_from_json(bench_to_json(r)), InvalidInput);
+}
+
+TEST(BenchJsonMicro, ThroughputIsMicroOnly) {
+  // A race report smuggling a throughput array is rejected.
+  EXPECT_THROW(
+      (void)bench_from_json(
+          "{\"sizes\": [1], \"series\": [{\"name\": \"A\", "
+          "\"makespan_s\": [0.5], \"throughput\": [1.0]}]}"),
+      InvalidInput);
+}
+
+TEST(BenchJsonMicro, RefusesVerbAndShardAxes) {
+  // Micro reports measure the simulator, not a collective: the sweep-only
+  // axes cannot apply and the parser refuses them outright.
+  EXPECT_THROW((void)bench_from_json(
+                   "{\"bench\": \"micro\", \"verb\": \"scatter\", "
+                   "\"sizes\": [1], \"series\": [{\"name\": \"A\", "
+                   "\"throughput\": [1.0]}]}"),
+               InvalidInput);
+  EXPECT_THROW((void)bench_from_json(
+                   "{\"bench\": \"micro\", \"shards\": 2, \"shard\": 0, "
+                   "\"sizes\": [1], \"series\": [{\"name\": \"A\", "
+                   "\"throughput\": [1.0]}]}"),
+               InvalidInput);
+}
+
+TEST(BenchCompareMicro, IdenticalReportsPass) {
+  const BenchReport r = micro_report();
+  EXPECT_TRUE(compare_bench(r, r).empty());
+}
+
+TEST(BenchCompareMicro, LowerBoundGateIsOneSided) {
+  const BenchReport base = micro_report();
+  BenchReport cur = micro_report();
+  BenchCompareOptions opts;
+  opts.throughput_factor = 10.0;
+
+  // Faster than the baseline: always fine (higher is better).
+  cur.series[0].throughput[0] = base.series[0].throughput[0] * 100.0;
+  EXPECT_TRUE(compare_bench(base, cur, opts).empty());
+
+  // Slower but above the floor: fine (CI machines are noisy).
+  cur = micro_report();
+  cur.series[0].throughput[0] = base.series[0].throughput[0] / 9.0;
+  EXPECT_TRUE(compare_bench(base, cur, opts).empty());
+
+  // Below baseline / factor: regression.
+  cur = micro_report();
+  cur.series[0].throughput[0] = base.series[0].throughput[0] / 11.0;
+  const auto problems = compare_bench(base, cur, opts);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("throughput regression"), std::string::npos);
+}
+
+TEST(BenchCompareMicro, NanCurrentThroughputFails) {
+  const BenchReport base = micro_report();
+  BenchReport cur = micro_report();
+  cur.series[1].throughput[0] = kNaN;
+  EXPECT_EQ(compare_bench(base, cur).size(), 1u);
+}
+
+TEST(BenchCompareMicro, MissingThroughputFails) {
+  const BenchReport base = micro_report();
+  BenchReport cur = micro_report();
+  cur.series[1].throughput.clear();
+  const auto problems = compare_bench(base, cur);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("missing throughput"), std::string::npos);
+}
+
+TEST(BenchCompareMicro, KindMismatchShortCircuits) {
+  const BenchReport base = micro_report();
+  const BenchReport cur = small_report();
+  const auto problems = compare_bench(base, cur);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("bench kind mismatch"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gridcast::io

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace gridcast::sim {
 namespace {
@@ -93,6 +98,161 @@ TEST(Engine, HandlesManyEvents) {
     e.at(static_cast<Time>(i % 977) * 1e-6, [&count] { ++count; });
   e.run();
   EXPECT_EQ(count, 100000u);
+}
+
+// ---- Determinism wall: the calendar's (time, insertion-seq) total order
+// must hold regardless of which internal lane (monotone tail vs heap) an
+// insertion lands in.  These tests deliberately construct interleavings
+// that split equal-time events across both lanes.
+
+TEST(Engine, EqualTimesSplitAcrossLanesKeepInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  // 1, 3 extend the monotone tail; 2 falls behind the tail's back (heap);
+  // the second 3 re-extends the tail.  Both 3s must fire in issue order.
+  e.at(1.0, [&] { order.push_back(10); });
+  e.at(3.0, [&] { order.push_back(30); });
+  e.at(2.0, [&] { order.push_back(20); });
+  e.at(3.0, [&] { order.push_back(31); });
+  e.at(2.0, [&] { order.push_back(21); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 21, 30, 31}));
+}
+
+TEST(Engine, PopOrderMatchesStableSortReference) {
+  // Seeded random times over a tiny value set (ties everywhere), popped
+  // order must equal a stable sort by time — i.e. (time, seq) exactly.
+  Rng rng = Rng::stream(7, 0);
+  Engine e;
+  std::vector<std::pair<Time, int>> expect;
+  std::vector<int> got;
+  for (int i = 0; i < 5000; ++i) {
+    const Time t = static_cast<Time>(static_cast<int>(rng.uniform(0.0, 8.0))) * 0.25;
+    expect.emplace_back(t, i);
+    e.at(t, [&got, i] { got.push_back(i); });
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  e.run();
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(got[i], expect[i].second) << "at pop " << i;
+}
+
+TEST(Engine, ReentrantSchedulingAtNowRunsAfterPendingTies) {
+  Engine e;
+  std::vector<int> order;
+  e.at(1.0, [&] {
+    order.push_back(0);
+    // Scheduled *during* the tie group: later insertion seq, so it fires
+    // after the events already queued at t = 1.0.
+    e.at(1.0, [&] { order.push_back(3); });
+  });
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(1.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, ReentrantChainAtSameTimeIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  int depth = 0;
+  std::function<void()> chain;  // test scaffolding; capture stays tiny
+  chain = [&] {
+    order.push_back(depth);
+    if (++depth < 100) e.at(1.0, [&] { chain(); });
+  };
+  e.at(1.0, [&] { chain(); });
+  e.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, AfterDuringRunInterleavesWithPreScheduled) {
+  Engine e;
+  std::vector<int> order;
+  e.at(1.0, [&] {
+    order.push_back(1);
+    e.after(1.0, [&] { order.push_back(3); });  // t = 2.0, issued later
+  });
+  e.at(2.0, [&] { order.push_back(2); });  // same time, earlier seq
+  e.at(3.0, [&] { order.push_back(4); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Engine, PendingCountsBothLanes) {
+  Engine e;
+  e.at(1.0, [] {});   // tail
+  e.at(3.0, [] {});   // tail
+  e.at(2.0, [] {});   // heap (behind the tail's back)
+  e.at(3.0, [] {});   // tail again
+  EXPECT_EQ(e.pending(), 4u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.processed(), 4u);
+}
+
+TEST(Engine, ReusableAfterDrainWithCorrectOrder) {
+  // Slot recycling through the free list must not disturb ordering or the
+  // processed() accumulator across run() generations.
+  Engine e;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i)
+      e.at(e.now() + static_cast<Time>((i * 37) % 100) + 1.0,
+           [&order, i] { order.push_back(i % 10); });
+    e.run();
+  }
+  EXPECT_EQ(order.size(), 300u);
+  EXPECT_EQ(e.processed(), 300u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+// ---- The past-clamp rule (kPastSlack): one rule, pinned here.
+
+TEST(Engine, PastWithinSlackClampsToNow) {
+  Engine e;
+  std::vector<int> order;
+  Time fired_at = -1.0;
+  e.at(1e-3, [&] {
+    order.push_back(0);
+    // Float round-off territory: below now() but within kPastSlack.
+    const Time t = 1e-3 - Engine::kPastSlack / 2;
+    ASSERT_LT(t, e.now());
+    e.at(t, [&] {
+      order.push_back(2);
+      fired_at = e.now();
+    });
+    e.at(1e-3, [&] { order.push_back(1); });
+  });
+  e.run();
+  // The clamp never drags now() backwards, and the clamped event keeps
+  // its insertion sequence: it was issued before the explicit 1e-3 event,
+  // so it fires first among the two reentrant inserts.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(fired_at, 1e-3);
+}
+
+TEST(Engine, PastBeyondSlackThrows) {
+  Engine e;
+  e.at(1e-3, [&] {
+    EXPECT_THROW(e.at(1e-3 - 10 * Engine::kPastSlack, [] {}), LogicError);
+    EXPECT_THROW(e.after(-10 * Engine::kPastSlack, [] {}), LogicError);
+  });
+  e.run();
+}
+
+TEST(Engine, AfterWithTinyNegativeDelayWithinSlackClamps) {
+  Engine e;
+  Time fired_at = -1.0;
+  e.at(2e-3, [&] {
+    e.after(-Engine::kPastSlack / 2, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2e-3);
 }
 
 }  // namespace

@@ -147,5 +147,72 @@ TEST(Network, ExcessiveJitterConfigThrows) {
   EXPECT_THROW(Network(grid, {0.9}, 1), LogicError);
 }
 
+// ---- Send-memo equivalence: the direct-mapped (pair, size) cache must be
+// invisible in the timings — every cached g(m)/orecv(m) is the exact
+// double the gap functions produce, pinned here by running the same send
+// sequence with the memo enabled and disabled and requiring bit equality.
+
+TEST(Network, MemoMatchesUncachedTimingsBitForBit) {
+  const topology::Grid grid = test_grid();
+  Network cached(grid, {}, 1);
+  Network direct(grid, {}, 1);
+  direct.disable_send_memo_for_test();
+
+  // Sizes chosen to hammer one memo slot per pair (repeats), to spread
+  // across slots, and to include 0 and large values; pairs cover intra,
+  // inter, and both directions.
+  const Bytes sizes[] = {0, 1, 64, 1000, 1000, 4096, 1000000, 64, 0};
+  const std::pair<NodeId, NodeId> pairs[] = {
+      {0, 1}, {0, 2}, {2, 3}, {3, 1}, {1, 0}, {2, 0}};
+  for (const Bytes m : sizes) {
+    for (const auto& [from, to] : pairs) {
+      const SendTiming a = cached.send(from, to, m);
+      const SendTiming b = direct.send(from, to, m);
+      EXPECT_EQ(a.start, b.start);
+      EXPECT_EQ(a.injected, b.injected);
+      EXPECT_EQ(a.delivered, b.delivered);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cached.engine().run(), direct.engine().run());
+}
+
+TEST(Network, MemoMatchesUncachedUnderJitter) {
+  // Jitter draws two rng values per send (gap, then latency); the memo
+  // must not change the draw order, or every later timing shifts.
+  const topology::Grid grid = test_grid();
+  Network cached(grid, {0.05}, 42);
+  Network direct(grid, {0.05}, 42);
+  direct.disable_send_memo_for_test();
+  for (int i = 0; i < 64; ++i) {
+    const Bytes m = static_cast<Bytes>((i % 5) * 1000);
+    const auto from = static_cast<NodeId>(i % 4);
+    const auto to = static_cast<NodeId>((i + 1) % 4);
+    const SendTiming a = cached.send(from, to, m);
+    const SendTiming b = direct.send(from, to, m);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.delivered, b.delivered);
+  }
+}
+
+TEST(Network, MemoCollisionsOverwriteWithoutCorruption) {
+  // Far more distinct (pair, size) keys than the 128 memo slots: every
+  // slot collides repeatedly, and each probe must still produce the
+  // uncached timing (collisions overwrite, never alias).
+  const topology::Grid grid = test_grid();
+  Network cached(grid, {}, 1);
+  Network direct(grid, {}, 1);
+  direct.disable_send_memo_for_test();
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes m = static_cast<Bytes>(i) * 17 + 1;
+    const auto from = static_cast<NodeId>(i % 4);
+    const auto to = static_cast<NodeId>((i + 2) % 4);
+    if (from == to) continue;
+    const SendTiming a = cached.send(from, to, m);
+    const SendTiming b = direct.send(from, to, m);
+    ASSERT_EQ(a.delivered, b.delivered) << "send " << i << " size " << m;
+  }
+}
+
 }  // namespace
 }  // namespace gridcast::sim
