@@ -20,7 +20,7 @@ void InstanceCache::evict_to_capacity() {
     const auto it = cache_.find(victim);
     bytes_ -= it->second.bytes;
     cache_.erase(it);  // holders' shared_ptrs keep the instance alive
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -29,7 +29,7 @@ InstancePtr InstanceCache::get(ClusterId root, Bytes m) {
   {
     std::lock_guard lk(mu_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, it->second.lru);  // promote to MRU
       return it->second.instance;
     }
@@ -40,7 +40,8 @@ InstancePtr InstanceCache::get(ClusterId root, Bytes m) {
   auto derived = std::make_shared<const sched::Instance>(
       sched::Instance::from_grid(*grid_, root, m));
   std::lock_guard lk(mu_);
-  ++misses_;  // counts derivations performed, lost races included
+  // Counts derivations performed, lost races included.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   const auto [it, inserted] = cache_.try_emplace(key);
   if (inserted) {
     const std::size_t sz = instance_bytes(*derived);
@@ -78,24 +79,9 @@ std::size_t InstanceCache::bytes_in_use() const {
   return bytes_;
 }
 
-std::uint64_t InstanceCache::evictions() const {
-  std::lock_guard lk(mu_);
-  return evictions_;
-}
-
 std::size_t InstanceCache::entries() const {
   std::lock_guard lk(mu_);
   return cache_.size();
-}
-
-std::uint64_t InstanceCache::hits() const {
-  std::lock_guard lk(mu_);
-  return hits_;
-}
-
-std::uint64_t InstanceCache::misses() const {
-  std::lock_guard lk(mu_);
-  return misses_;
 }
 
 }  // namespace gridcast::exp

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -62,15 +63,26 @@ class InstanceCache {
   /// `instance_bytes`); the basis of the eviction decision.
   [[nodiscard]] std::size_t bytes_in_use() const;
 
-  /// Entries dropped by the LRU bound so far.
-  [[nodiscard]] std::uint64_t evictions() const;
+  /// Entries dropped by the LRU bound so far.  The three stats counters
+  /// are monitoring data, not synchronisation: they are relaxed atomics,
+  /// so readers never contend with the cache lock and TSan stays quiet
+  /// when a sweep thread polls them mid-run.  Each value is exact; a
+  /// cross-counter snapshot (hits vs misses) taken mid-run may straddle
+  /// an in-flight lookup.
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   /// Distinct (root, size) keys currently held.
   [[nodiscard]] std::size_t entries() const;
 
   /// Lookups that found an existing entry / had to derive one.
-  [[nodiscard]] std::uint64_t hits() const;
-  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
   /// The accounting rule: what one cached instance charges against the
   /// capacity (its two clusters² time matrices, the T vector, and the
@@ -96,9 +108,9 @@ class InstanceCache {
   std::list<Key> lru_;  ///< most recently used at the front
   std::size_t capacity_;
   std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace gridcast::exp

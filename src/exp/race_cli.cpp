@@ -16,6 +16,7 @@
 #include "collective/backend.hpp"
 #include "exp/realise.hpp"
 #include "io/grid_io.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "topology/grid5000.hpp"
@@ -228,11 +229,17 @@ io::BenchReport merge_race_shards(const std::vector<io::BenchReport>& shards) {
     if (s.series.size() != ref.series.size())
       throw InvalidInput("merge: shard " + std::to_string(s.shard) +
                          " has a different series count");
-    for (std::size_t i = 0; i < s.series.size(); ++i)
+    for (std::size_t i = 0; i < s.series.size(); ++i) {
       if (s.series[i].name != ref.series[i].name)
         throw InvalidInput("merge: shard " + std::to_string(s.shard) +
                            " series order/name mismatch at index " +
                            std::to_string(i));
+      // Parsed reports arrive with the axis covered (the reader's grammar
+      // wall); a programmatic caller handing us a short row would read
+      // out of bounds in the fold below.
+      GRIDCAST_ASSERT(s.series[i].makespan_s.size() == ref.sizes.size(),
+                      "merge precondition: series cells must cover the axis");
+    }
   }
 
   io::BenchReport out = ref;
@@ -590,6 +597,13 @@ io::BenchReport merge_race_grid_shards(
         throw InvalidInput("merge: shard " + std::to_string(s.shard) +
                            " hit tracking disagrees for series '" +
                            s.series[i].name + "'");
+      // Same contract as the sweep merge: the fold below indexes
+      // [point][block] unconditionally.
+      GRIDCAST_ASSERT(s.series[i].block_sum_s.size() == ref.sizes.size(),
+                      "merge precondition: block rows must cover the axis");
+      for (const auto& row : s.series[i].block_sum_s)
+        GRIDCAST_ASSERT(row.size() == ref.block_count(),
+                        "merge precondition: block row depth mismatch");
     }
   }
 

@@ -11,6 +11,7 @@
 #include <variant>
 
 #include "collective/verb.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::io {
@@ -344,9 +345,67 @@ void put_nested_array(std::ostream& os,
   os << "]";
 }
 
+/// Writer-side mirror of the parser's grammar wall.  Parsed reports are
+/// validated on the way in; this guards the *producers* — a new bench or
+/// sweep assembling a BenchReport by hand — so a malformed report fails
+/// at the write site on the Debug/sanitizer lanes instead of surfacing as
+/// a confusing parse error (or a silently wrong baseline) downstream.
+/// Returns an empty string when the report is well-formed.
+std::string report_grammar_violation(const BenchReport& r) {
+  if (r.bench != "race" && r.bench != "montecarlo" && r.bench != "micro")
+    return "unknown bench kind '" + r.bench + "'";
+  if (r.sizes.empty()) return "empty axis";
+  if (r.shards == 0 || r.shard >= r.shards) return "shard index out of range";
+  if (r.is_montecarlo()) {
+    if (r.verb != "bcast") return "montecarlo reports are broadcast-only";
+    if (r.iterations == 0) return "montecarlo report needs iterations >= 1";
+  } else if (r.block_iters != 0) {
+    return "'block_iters' outside a montecarlo report";
+  }
+  if (r.is_micro() && (r.shards != 1 || r.verb != "bcast"))
+    return "micro reports carry no verb or shard axes";
+  const bool shard_form = r.shard_form();
+  if (shard_form && !r.is_montecarlo())
+    return "block data outside a montecarlo report";
+  if (shard_form && r.block_iters == 0)
+    return "shard-form report needs block_iters >= 1";
+  for (const auto& s : r.series) {
+    if (r.is_micro()) {
+      if (s.throughput.size() != r.sizes.size())
+        return "series '" + s.name + "' throughput does not cover the axis";
+      continue;
+    }
+    if (!s.throughput.empty()) return "'throughput' outside a micro report";
+    if (!r.is_montecarlo() && !s.hits.empty()) return "'hits' is montecarlo-only";
+    if (shard_form != !s.block_sum_s.empty())
+      return "series '" + s.name + "' mixes shard-form and final-form data";
+    if (!shard_form) {
+      if (s.makespan_s.size() != r.sizes.size())
+        return "series '" + s.name + "' cells do not cover the axis";
+      if (!s.hits.empty() && s.hits.size() != r.sizes.size())
+        return "series '" + s.name + "' hits do not cover the axis";
+    } else {
+      if (s.block_sum_s.size() != r.sizes.size())
+        return "series '" + s.name + "' block_sum_s does not cover the axis";
+      for (const auto& row : s.block_sum_s)
+        if (row.size() != r.block_count())
+          return "series '" + s.name + "' block_sum_s row has wrong depth";
+      if (!s.block_hits.empty() && s.block_hits.size() != r.sizes.size())
+        return "series '" + s.name + "' block_hits does not cover the axis";
+      for (const auto& row : s.block_hits)
+        if (row.size() != r.block_count())
+          return "series '" + s.name + "' block_hits row has wrong depth";
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 void write_bench_json(std::ostream& os, const BenchReport& r) {
+  GRIDCAST_DCHECK(report_grammar_violation(r).empty(),
+                  "write_bench_json: malformed report: " +
+                      report_grammar_violation(r));
   os << "{\n";
   os << "  \"bench\": \"" << json_escape(r.bench) << "\",\n";
   os << "  \"grid\": \"" << json_escape(r.grid) << "\",\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::sched {
@@ -86,8 +87,13 @@ Schedule evaluate_order(const Instance& inst, std::span<const SendPair> order,
   st.reset(inst);
   for (const auto& [s, r] : order) st.apply(s, r);
   const Schedule sched = st.finish(model);
-  const std::string why = describe_invalid(sched, inst.clusters());
-  GRIDCAST_ASSERT(why.empty(), "evaluator produced invalid schedule: " + why);
+  // Well-formedness is an O(clusters) walk over the whole schedule — the
+  // expensive contract tier.  apply() already ASSERTs the per-transfer
+  // preconditions in every build; the full structural re-check runs on
+  // the Debug/sanitizer lanes, off the Monte-Carlo hot path in release.
+  GRIDCAST_DCHECK(describe_invalid(sched, inst.clusters()).empty(),
+                  "evaluator produced invalid schedule: " +
+                      describe_invalid(sched, inst.clusters()));
   return sched;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::sim {
@@ -60,6 +61,9 @@ void Engine::at(Time t, Callback cb) {
         store_.push_back(std::move(pool.back()));
         pool.pop_back();
       } else {
+        // Arena growth beyond any previous high-water mark — the one
+        // allocation the steady-state event loop never reaches.
+        // gridcast-lint: allow(sim-alloc)
         store_.push_back(std::make_unique_for_overwrite<std::byte[]>(
             kChunkSize * sizeof(Callback)));
       }
@@ -70,6 +74,13 @@ void Engine::at(Time t, Callback cb) {
                                          sizeof(Callback)))
         Callback(std::move(cb));
   }
+
+  // Cheap per-insert slice of the calendar contract; the full O(pending)
+  // walk (calendar_well_formed) runs at run() boundaries.
+  GRIDCAST_DCHECK(heap_time_.size() == heap_seq_.size() &&
+                      heap_time_.size() == heap_slot_.size(),
+                  "SoA heap arrays lost parallelism");
+  GRIDCAST_DCHECK(slot < slots_, "event slot above the arena high-water mark");
 
   const Time tt = t < now_ ? now_ : t;
   const std::uint64_t sq = seq_++;
@@ -139,7 +150,33 @@ void Engine::pop_root() noexcept {
   if (n > 1) sift_down(0);
 }
 
+bool Engine::calendar_well_formed() const noexcept {
+  if (heap_time_.size() != heap_seq_.size() ||
+      heap_time_.size() != heap_slot_.size())
+    return false;
+  for (std::size_t i = 1; i < heap_time_.size(); ++i) {
+    const std::size_t p = (i - 1) / kArity;
+    // Parent fires no later than the child: !(child before parent).
+    if (before(i, heap_time_[p], heap_seq_[p])) return false;
+    if (heap_slot_[i] >= slots_) return false;
+  }
+  if (!heap_time_.empty() && heap_slot_[0] >= slots_) return false;
+  if (tail_head_ > tail_.size()) return false;
+  for (std::size_t i = tail_head_; i < tail_.size(); ++i) {
+    if (tail_[i].slot >= slots_) return false;
+    if (i > tail_head_ &&
+        (tail_[i].time < tail_[i - 1].time ||
+         (tail_[i].time == tail_[i - 1].time && tail_[i].seq <= tail_[i - 1].seq)))
+      return false;
+  }
+  for (const std::uint32_t s : free_)
+    if (s >= slots_) return false;
+  return true;
+}
+
 Time Engine::run() {
+  GRIDCAST_DCHECK(calendar_well_formed(),
+                  "event calendar corrupt at run() entry");
   for (;;) {
     const bool tail_live = tail_head_ < tail_.size();
     const bool heap_live = !heap_time_.empty();
@@ -176,6 +213,8 @@ Time Engine::run() {
     free_.push_back(slot);
     cb();
   }
+  GRIDCAST_DCHECK(calendar_well_formed(),
+                  "event calendar corrupt after drain");
   return now_;
 }
 

@@ -99,6 +99,13 @@ class Engine {
   void sift_down(std::size_t i) noexcept;
   void pop_root() noexcept;
 
+  /// The calendar's structural contract, checkable in O(pending): the SoA
+  /// arrays stay parallel, the 4-ary heap property holds on (time, seq),
+  /// the tail lane is sorted by construction, and every referenced slot
+  /// is below the arena high-water mark.  GRIDCAST_DCHECK'd at run()
+  /// boundaries (Debug/sanitizer lanes); free for release callers.
+  [[nodiscard]] bool calendar_well_formed() const noexcept;
+
   // 4-ary min-heap on (time, seq), SoA: parallel arrays move cheap PODs.
   std::vector<Time> heap_time_;
   std::vector<std::uint64_t> heap_seq_;

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "support/error.hpp"
+
+/// Contract macros — the two-tier assertion policy.
+///
+/// `GRIDCAST_ASSERT(expr, msg)` (from support/error.hpp) is the *cheap*
+/// tier: a predictable branch on data already in registers.  It is on in
+/// every build type, release included — schedule validity is part of what
+/// the benchmarks measure, and a report produced past a violated
+/// precondition is worse than no report.
+///
+/// `GRIDCAST_DCHECK(expr, msg)` is the *expensive* tier: O(n) structure
+/// walks (heap order, schedule well-formedness, report grammar) that
+/// would dominate a hot loop.  It compiles to nothing unless
+/// `GRIDCAST_ENABLE_DCHECKS` is defined, which the build system does for
+/// Debug and sanitizer configurations (`-DGRIDCAST_DCHECKS=ON` forces it
+/// anywhere).  The expression is still parsed and type-checked when
+/// disabled, so a DCHECK can never rot into a compile error on the lanes
+/// that enable it — but it must be side-effect free, because release
+/// builds never evaluate it.
+///
+/// Both tiers throw `gridcast::LogicError` with file:line context via
+/// `gridcast::detail::assert_fail`, so tests can pin contract failures
+/// the same way they pin any diagnostic.
+
+#if defined(GRIDCAST_ENABLE_DCHECKS)
+#define GRIDCAST_DCHECK(expr, msg) GRIDCAST_ASSERT(expr, msg)
+#define GRIDCAST_DCHECKS_ENABLED 1
+#else
+#define GRIDCAST_DCHECK(expr, msg)  \
+  do {                              \
+    if (false) {                    \
+      (void)(expr);                 \
+      (void)(msg);                  \
+    }                               \
+  } while (false)
+#define GRIDCAST_DCHECKS_ENABLED 0
+#endif

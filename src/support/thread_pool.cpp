@@ -1,6 +1,5 @@
 #include "support/thread_pool.hpp"
 
-#include <atomic>
 #include <exception>
 
 #include "support/error.hpp"
@@ -47,9 +46,14 @@ void ThreadPool::parallel_for(
   const std::size_t chunks = std::min(workers, n);
   const std::size_t chunk = (n + chunks - 1) / chunks;
 
-  std::atomic<std::size_t> remaining{chunks};
+  // Completion handshake.  `remaining` must only reach zero while the
+  // worker holds `done_mu`: the waiter's predicate runs under the same
+  // lock, so it cannot observe zero, return, and destroy these stack
+  // objects while the last worker still stands between its decrement and
+  // the notify — the lifetime race TSan flags in the decrement-outside-
+  // the-lock formulation.
+  std::size_t remaining = chunks;
   std::exception_ptr first_error;
-  std::mutex err_mu;
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -59,23 +63,22 @@ void ThreadPool::parallel_for(
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(lo + chunk, n);
       queue_.emplace([&, lo, hi] {
+        std::exception_ptr err;
         try {
           body(lo, hi);
         } catch (...) {
-          std::lock_guard elk(err_mu);
-          if (!first_error) first_error = std::current_exception();
+          err = std::current_exception();
         }
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard dlk(done_mu);
-          done_cv.notify_all();
-        }
+        std::lock_guard dlk(done_mu);
+        if (err && !first_error) first_error = std::move(err);
+        if (--remaining == 0) done_cv.notify_all();
       });
     }
   }
   cv_.notify_all();
 
   std::unique_lock lk(done_mu);
-  done_cv.wait(lk, [&] { return remaining.load() == 0; });
+  done_cv.wait(lk, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

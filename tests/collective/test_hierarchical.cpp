@@ -81,7 +81,9 @@ TEST(Hierarchical, NonZeroRootCluster) {
   const NodeId root_rank = grid.global_rank(2, 0);
   EXPECT_DOUBLE_EQ(r.delivered[root_rank], 0.0);
   for (NodeId rank = 0; rank < grid.total_nodes(); ++rank)
-    if (rank != root_rank) EXPECT_GT(r.delivered[rank], 0.0);
+    if (rank != root_rank) {
+      EXPECT_GT(r.delivered[rank], 0.0);
+    }
 }
 
 TEST(Hierarchical, LocalFirstDelaysDownstreamClusters) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -73,6 +75,49 @@ TEST(InstanceCache, ConcurrentGetsAgree) {
   // Threads that asked for the same key see the same object.
   for (int t = 0; t < kThreads; ++t)
     EXPECT_EQ(got[t].get(), got[t % 4].get());
+}
+
+TEST(InstanceCache, StatsReadableWhileCacheIsBusy) {
+  // Regression pin for the stats data race: hits/misses/evictions are
+  // relaxed atomics precisely so a monitoring thread can poll them while
+  // worker threads mutate the cache.  The TSan lane fails this test if
+  // the counters regress to plain fields; the count assertions below pin
+  // that the atomics still tally exactly.
+  const auto grid = topology::grid5000_testbed();
+  const std::size_t one =
+      InstanceCache::instance_bytes(sched::Instance::from_grid(grid, 0, MiB(1)));
+  InstanceCache cache(grid, 2 * one);  // small bound: evictions also race
+
+  std::atomic<bool> stop{false};
+  std::uint64_t last_seen = 0;
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t h = cache.hits();
+      const std::uint64_t m = cache.misses();
+      (void)cache.evictions();
+      if (h + m > last_seen) last_seen = h + m;
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&, t] {
+        for (int r = 0; r < kRounds; ++r)
+          (void)cache.get(0, MiB(1) + KiB(64) * ((r + t) % 6));
+      });
+    for (auto& w : workers) w.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  // Every lookup is either a hit or a (derivation) miss; lost derivation
+  // races only ever add misses, never drop lookups.
+  EXPECT_GE(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(last_seen, cache.hits() + cache.misses());
 }
 
 // ------------------------------------------------------------ LRU bound

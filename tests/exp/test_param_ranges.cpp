@@ -63,7 +63,9 @@ TEST(SampleInstance, SharedGapIsUniformAcrossPairs) {
   const auto inst = sample_instance(ParamRanges::shared_gap(), 10, rng);
   for (ClusterId i = 0; i < 10; ++i)
     for (ClusterId j = 0; j < 10; ++j)
-      if (i != j) EXPECT_DOUBLE_EQ(inst.g(i, j), inst.g(0, 1));
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(inst.g(i, j), inst.g(0, 1));
+      }
 }
 
 TEST(SampleInstance, RootIsConfigurable) {
@@ -80,7 +82,9 @@ TEST(SampleInstance, DeterministicPerStream) {
   for (ClusterId i = 0; i < 6; ++i) {
     EXPECT_DOUBLE_EQ(ia.T(i), ib.T(i));
     for (ClusterId j = 0; j < 6; ++j)
-      if (i != j) EXPECT_DOUBLE_EQ(ia.transfer(i, j), ib.transfer(i, j));
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(ia.transfer(i, j), ib.transfer(i, j));
+      }
   }
 }
 

@@ -38,7 +38,9 @@ TEST(GridIo, RoundTripPreservesDerivedInstances) {
   for (ClusterId i = 0; i < ia.clusters(); ++i) {
     EXPECT_DOUBLE_EQ(ib.T(i), ia.T(i));
     for (ClusterId j = 0; j < ia.clusters(); ++j)
-      if (i != j) EXPECT_DOUBLE_EQ(ib.transfer(i, j), ia.transfer(i, j));
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(ib.transfer(i, j), ia.transfer(i, j));
+      }
   }
 }
 

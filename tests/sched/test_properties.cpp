@@ -66,7 +66,9 @@ TEST_P(HeuristicProperties, EveryClusterAppearsOnceAsReceiver) {
     for (const auto& [snd, rcv] : s.order(inst)) ++seen[rcv];
     EXPECT_EQ(seen[inst.root()], 0) << s.name();
     for (ClusterId c = 0; c < inst.clusters(); ++c)
-      if (c != inst.root()) EXPECT_EQ(seen[c], 1) << s.name();
+      if (c != inst.root()) {
+        EXPECT_EQ(seen[c], 1) << s.name();
+      }
   }
 }
 

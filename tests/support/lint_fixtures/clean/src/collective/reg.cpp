@@ -1,0 +1,7 @@
+namespace gridcast::collective {
+struct Registry { void add(const char*, int) {} };
+void install(Registry& r) {
+  r.add("sim", 1);
+  r.add("plogp", 2);
+}
+}  // namespace gridcast::collective

@@ -1,0 +1,7 @@
+#include <map>
+#include <ostream>
+namespace gridcast::io {
+void write(std::ostream& os, const std::map<int, double>& cells) {
+  for (const auto& [k, v] : cells) os << k << ' ' << v << '\n';
+}
+}  // namespace gridcast::io

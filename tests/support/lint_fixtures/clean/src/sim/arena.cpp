@@ -1,0 +1,8 @@
+#include <cstddef>
+#include <new>
+namespace gridcast::sim {
+struct Slot { unsigned char buf[64]; };
+void construct_into(void* where) {
+  ::new (where) Slot();  // placement new: arena construction, not allocation
+}
+}  // namespace gridcast::sim

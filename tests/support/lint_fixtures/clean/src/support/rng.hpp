@@ -1,0 +1,11 @@
+#pragma once
+#include <random>
+// The one home for raw engines: rng.* may spell mt19937 and seed it.
+namespace gridcast {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : engine_(seed) {}
+ private:
+  std::mt19937_64 engine_;
+};
+}  // namespace gridcast

@@ -1,0 +1,4 @@
+namespace gridcast::sched {
+// gridcast-lint: allow(sim-allocs)
+int fine();
+}  // namespace gridcast::sched

@@ -1,0 +1,4 @@
+#include <iostream>
+namespace gridcast::io {
+void report(double makespan) { std::cout << makespan << '\n'; }
+}  // namespace gridcast::io

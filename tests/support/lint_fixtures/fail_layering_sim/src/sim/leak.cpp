@@ -1,0 +1,4 @@
+#include "io/bench_json.hpp"
+namespace gridcast::sim {
+int leak();
+}  // namespace gridcast::sim

@@ -1,0 +1,5 @@
+#pragma once
+#include "sched/instance.hpp"
+namespace gridcast {
+int helper();
+}  // namespace gridcast

@@ -1,0 +1,6 @@
+namespace gridcast::collective {
+struct Registry { void add(const char*, int) {} };
+void install(Registry& r) {
+  r.add("Sim", 1);
+}
+}  // namespace gridcast::collective

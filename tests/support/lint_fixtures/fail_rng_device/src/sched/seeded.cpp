@@ -1,0 +1,7 @@
+#include <random>
+namespace gridcast::sched {
+unsigned draw() {
+  std::random_device rd;
+  return rd();
+}
+}  // namespace gridcast::sched

@@ -1,0 +1,7 @@
+#include <random>
+namespace gridcast::exp {
+double sample() {
+  std::mt19937 gen;
+  return static_cast<double>(gen());
+}
+}  // namespace gridcast::exp

@@ -1,0 +1,6 @@
+namespace gridcast::sim {
+struct Event { double t; };
+Event* fresh_event(double t) {
+  return new Event{t};
+}
+}  // namespace gridcast::sim

@@ -1,0 +1,7 @@
+#pragma once
+#include <functional>
+namespace gridcast::sim {
+struct Dispatcher {
+  std::function<void()> on_event;
+};
+}  // namespace gridcast::sim

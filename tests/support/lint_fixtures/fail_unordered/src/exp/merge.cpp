@@ -1,0 +1,9 @@
+#include <string>
+#include <unordered_map>
+namespace gridcast::exp {
+double fold(const std::unordered_map<std::string, double>& cells) {
+  double sum = 0.0;
+  for (const auto& [name, v] : cells) sum += v;
+  return sum;
+}
+}  // namespace gridcast::exp

@@ -1,0 +1,9 @@
+#include <string>
+namespace gridcast::sim {
+// A doc comment may mention std::function and new Event without tripping
+// the wall; so may a diagnostic string.
+/* block comments too: std::random_device, system_clock */
+std::string describe() {
+  return "replacement for std::function; never calls new Event";
+}
+}  // namespace gridcast::sim

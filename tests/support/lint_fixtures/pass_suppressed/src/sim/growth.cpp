@@ -1,0 +1,11 @@
+namespace gridcast::sim {
+struct Chunk { unsigned char buf[4096]; };
+Chunk* grow_same_line() {
+  return new Chunk();  // gridcast-lint: allow(sim-alloc)
+}
+Chunk* grow_line_above() {
+  // Cold growth path, measured allocation-free in steady state.
+  // gridcast-lint: allow(sim-alloc)
+  return new Chunk();
+}
+}  // namespace gridcast::sim

@@ -1,0 +1,83 @@
+#include "support/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/bench_json.hpp"
+
+// The two-tier contract policy: GRIDCAST_ASSERT is always on (covered by
+// test_error.cpp); GRIDCAST_DCHECK follows the build — enforcing on the
+// Debug/sanitizer lanes, a fully inert no-op elsewhere.  The suite runs
+// in both configurations, so every branch below is exercised somewhere
+// in the CI analysis matrix.
+
+namespace gridcast {
+namespace {
+
+TEST(Contracts, DcheckPassesOnTrue) {
+  EXPECT_NO_THROW(GRIDCAST_DCHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Contracts, DcheckFollowsBuildConfiguration) {
+#if GRIDCAST_DCHECKS_ENABLED
+  EXPECT_THROW(GRIDCAST_DCHECK(false, "must fail"), LogicError);
+#else
+  EXPECT_NO_THROW(GRIDCAST_DCHECK(false, "compiled out"));
+#endif
+}
+
+TEST(Contracts, DisabledDcheckNeverEvaluatesItsExpression) {
+  int calls = 0;
+  const auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  GRIDCAST_DCHECK(count(), "");
+#if GRIDCAST_DCHECKS_ENABLED
+  EXPECT_EQ(calls, 1);
+#else
+  EXPECT_EQ(calls, 0);  // the contract must be side-effect free
+#endif
+}
+
+TEST(Contracts, DcheckFailureCarriesFileAndMessage) {
+#if GRIDCAST_DCHECKS_ENABLED
+  try {
+    GRIDCAST_DCHECK(3 < 2, "three is not less than two");
+    FAIL() << "expected LogicError";
+  } catch (const LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 < 2"), std::string::npos);
+    EXPECT_NE(what.find("three is not less than two"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+  }
+#else
+  GTEST_SKIP() << "DCHECKs compiled out in this configuration";
+#endif
+}
+
+// The writer's grammar contract in action: a producer-built report whose
+// series does not cover the axis is refused at the write site on DCHECK
+// lanes — and still serialises (garbage in, bytes out) on release lanes,
+// where the parser's grammar wall catches it on the way back in.
+TEST(Contracts, WriterGrammarContractRefusesMalformedReports) {
+  io::BenchReport r;
+  r.bench = "race";
+  r.grid = "synthetic";
+  r.sizes = {1024, 2048};
+  io::BenchSeries s;
+  s.name = "FlatTree";
+  s.makespan_s = {1.0};  // one cell for a two-point axis
+  r.series.push_back(s);
+  std::ostringstream os;
+#if GRIDCAST_DCHECKS_ENABLED
+  EXPECT_THROW(io::write_bench_json(os, r), LogicError);
+#else
+  EXPECT_NO_THROW(io::write_bench_json(os, r));
+  EXPECT_THROW(io::bench_from_json(os.str()), InvalidInput);
+#endif
+}
+
+}  // namespace
+}  // namespace gridcast

@@ -83,6 +83,41 @@ TEST(ThreadPool, SequentialCallsReusePool) {
   }
 }
 
+TEST(ThreadPool, ManyShortCallsStressCompletionHandshake) {
+  // Regression pin for the completion-handshake lifetime race: the
+  // waiter's mutex/cv live on parallel_for's stack frame, so `remaining`
+  // must only reach zero while the last worker holds the completion lock.
+  // The broken formulation (decrement outside the lock, then notify) let
+  // the waiter wake, return, and destroy both objects under the worker's
+  // feet.  Tiny bodies maximise the window; the TSan lane turns any
+  // regression into a hard failure, and even un-instrumented builds crash
+  // here with fair probability.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 2000; ++round)
+    pool.parallel_for(4, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 8000u);
+}
+
+TEST(ThreadPool, ThrowingBodiesStressCompletionHandshake) {
+  // Same pin under the error path: the thrown-exception fold shares the
+  // completion lock, so a throwing chunk must not reorder the handshake.
+  ThreadPool pool(4);
+  int caught = 0;
+  for (int round = 0; round < 500; ++round) {
+    try {
+      pool.parallel_for(4, [&](std::size_t lo, std::size_t) {
+        if (lo == 0) throw std::runtime_error("chunk failed");
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  EXPECT_EQ(caught, 500);
+}
+
 TEST(ThreadPool, ResultIndependentOfWorkerCount) {
   // Chunk partitioning is by index, so a reduction over deterministic
   // per-index values must not depend on the worker count.

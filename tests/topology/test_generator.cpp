@@ -59,8 +59,9 @@ TEST(Generator, SingleSiteIsAllLan) {
   const Grid g = random_grid(cfg, rng);
   for (ClusterId i = 0; i < 4; ++i)
     for (ClusterId j = 0; j < 4; ++j)
-      if (i != j)
+      if (i != j) {
         EXPECT_EQ(classify_latency(g.link(i, j).L), CommLevel::kLan);
+      }
 }
 
 TEST(Generator, InvalidConfigThrows) {

@@ -42,7 +42,9 @@ TEST(Grid5000, LinkLatenciesComeFromTheTable) {
   const auto m = grid5000_latency_matrix();
   for (ClusterId i = 0; i < 6; ++i)
     for (ClusterId j = 0; j < 6; ++j)
-      if (i != j) EXPECT_DOUBLE_EQ(g.link(i, j).L, m(i, j));
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(g.link(i, j).L, m(i, j));
+      }
 }
 
 TEST(Grid5000, WanLinksAreSlowerThanLanLinks) {
