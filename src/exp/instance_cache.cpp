@@ -13,7 +13,7 @@ std::size_t InstanceCache::instance_bytes(
 }
 
 void InstanceCache::evict_to_capacity() {
-  if (capacity_ == 0) return;
+  if (capacity_ == kUnbounded) return;
   while (bytes_ > capacity_ && !lru_.empty()) {
     const Key victim = lru_.back();
     lru_.pop_back();
@@ -42,6 +42,10 @@ InstancePtr InstanceCache::get(ClusterId root, Bytes m) {
   std::lock_guard lk(mu_);
   // Counts derivations performed, lost races included.
   misses_.fetch_add(1, std::memory_order_relaxed);
+  // Pass-through mode: never retain.  Inserting and immediately evicting
+  // would tally a bogus eviction per lookup and churn the LRU list; the
+  // caller's shared_ptr is the only reference that ever exists.
+  if (capacity_ == 0) return derived;
   const auto [it, inserted] = cache_.try_emplace(key);
   if (inserted) {
     const std::size_t sz = instance_bytes(*derived);

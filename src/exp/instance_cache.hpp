@@ -33,13 +33,19 @@ using InstancePtr = std::shared_ptr<const sched::Instance>;
 
 class InstanceCache {
  public:
-  /// `capacity_bytes == 0` means unbounded (the default — sweep ladders
-  /// are small; only root-rotation workloads need the bound).
+  /// Sentinel capacity: never evict (the default — sweep ladders are
+  /// small; only root-rotation workloads need the bound).
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  /// `capacity_bytes == kUnbounded` means no bound; `capacity_bytes == 0`
+  /// means pass-through: every `get` derives, nothing is ever retained or
+  /// pinned, and the byte account stays zero.  Anything in between is the
+  /// LRU bound in bytes.
   explicit InstanceCache(const topology::Grid& grid,
-                         std::size_t capacity_bytes = 0)
+                         std::size_t capacity_bytes = kUnbounded)
       : grid_(&grid), capacity_(capacity_bytes) {}
   /// The cache only references the grid; a temporary would dangle.
-  explicit InstanceCache(topology::Grid&&, std::size_t = 0) = delete;
+  explicit InstanceCache(topology::Grid&&, std::size_t = kUnbounded) = delete;
 
   InstanceCache(const InstanceCache&) = delete;
   InstanceCache& operator=(const InstanceCache&) = delete;
@@ -54,8 +60,8 @@ class InstanceCache {
   /// callers see identical values.
   [[nodiscard]] InstancePtr get(ClusterId root, Bytes m);
 
-  /// Change the byte bound (0 = unbounded), evicting immediately if the
-  /// current account exceeds it.
+  /// Change the byte bound (`kUnbounded` = no bound, 0 = pass-through),
+  /// evicting immediately if the current account exceeds it.
   void set_capacity(std::size_t capacity_bytes);
   [[nodiscard]] std::size_t capacity() const;
 

@@ -1,0 +1,385 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "exp/race_cli.hpp"
+#include "support/error.hpp"
+
+namespace gridcast::serve {
+
+namespace {
+
+/// 17-significant-digit double, matching the BenchReport writer, so
+/// protocol replies are byte-stable and round-trip exactly.
+std::string fmt17(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::vector<std::string> tokens_of(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream in{std::string(line)};
+  for (std::string tok; in >> tok;) out.push_back(std::move(tok));
+  return out;
+}
+
+ClusterId parse_root(const std::string& token) {
+  ClusterId root = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), root);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw InvalidInput("malformed root cluster '" + token + "'");
+  return root;
+}
+
+}  // namespace
+
+PlanService::PlanService(const topology::Grid& grid, std::string grid_name,
+                         ServeOptions opts)
+    : grid_(&grid),
+      grid_name_(std::move(grid_name)),
+      opts_(std::move(opts)),
+      comps_(exp::resolve_competitors(
+          opts_.sched_names.empty() ? sched::registry().names()
+                                    : opts_.sched_names,
+          sched::HeuristicOptions{.completion = opts_.completion})),
+      backend_(collective::backend_registry().make(
+          "plogp", collective::BackendOptions{.grid = &grid})),
+      grid_hash_(grid_fingerprint(grid)),
+      sched_rev_(scheduler_set_revision(comps_)),
+      instances_(grid, opts_.instance_capacity),
+      plans_(opts_.plan_capacity) {
+  GRIDCAST_ASSERT(!comps_.empty(), "no competitors to serve with");
+}
+
+PlanSignature PlanService::signature_for(collective::Verb verb, ClusterId root,
+                                         Bytes m) const {
+  const auto n = static_cast<ClusterId>(grid_->cluster_count());
+  if (root >= n)
+    throw InvalidInput("root cluster " + std::to_string(root) +
+                       " out of range (grid has " + std::to_string(n) +
+                       " clusters)");
+  // All-to-all schedules every root; its plan is root-independent, so all
+  // roots share signature root 0 (the root is still range-checked above —
+  // the request named a cluster that must exist).
+  const ClusterId sig_root =
+      verb == collective::Verb::kAlltoall ? ClusterId{0} : root;
+  return PlanSignature{grid_hash_, verb, sig_root, size_bucket_of(m),
+                       sched_rev_};
+}
+
+PlanPtr PlanService::build_plan(const PlanSignature& sig) {
+  if (sig.grid_hash != grid_hash_)
+    throw InvalidInput("plan signature encodes a different grid (fingerprint "
+                       "mismatch)");
+  if (sig.sched_rev != sched_rev_)
+    throw InvalidInput("plan signature encodes a different scheduler set "
+                       "(revision mismatch)");
+  const Bytes m = bucket_floor(sig.size_bucket);
+
+  // The all-to-all executes one schedule per root cluster, so its gate
+  // must probe every root (exp::backend_sweep's rule); broadcast and
+  // scatter schedule from the signature root alone.
+  std::vector<ClusterId> gate_roots;
+  if (sig.verb == collective::Verb::kAlltoall) {
+    const auto n = static_cast<ClusterId>(grid_->cluster_count());
+    for (ClusterId c = 0; c < n; ++c) gate_roots.push_back(c);
+  } else {
+    gate_roots.push_back(sig.root);
+  }
+
+  const sched::Scheduler* best = nullptr;
+  Time best_completion = 0.0;
+  std::vector<std::string> refused;
+  for (const auto& comp : comps_) {
+    bool ok = true;
+    for (const ClusterId r : gate_roots) {
+      const exp::InstancePtr inst = instances_.get(r, m);
+      // Probe with the info the verb path builds: the competitor's
+      // completion model for broadcasts, eager for scatter/all-to-all
+      // (their order derivations construct exactly that).
+      const sched::SchedulerRuntimeInfo info(
+          *inst, m,
+          sig.verb == collective::Verb::kBcast
+              ? comp.options().completion
+              : sched::CompletionModel::kEager);
+      if (!comp.entry().can_schedule(info)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      refused.emplace_back(comp.name());
+      continue;
+    }
+    Time completion = 0.0;
+    switch (sig.verb) {
+      case collective::Verb::kBcast: {
+        const exp::InstancePtr inst = instances_.get(sig.root, m);
+        const sched::SchedulerRuntimeInfo info(*inst, m,
+                                               comp.options().completion);
+        completion = backend_->bcast(comp.entry(), info).completion;
+        break;
+      }
+      case collective::Verb::kScatter:
+        completion = backend_->scatter(comp.entry(), sig.root, m).completion;
+        break;
+      case collective::Verb::kAlltoall:
+        completion = backend_->alltoall(comp.entry(), m).completion;
+        break;
+    }
+    // Strict less: ties keep the earlier competitor, so selection is a
+    // pure function of the signature and the registration order.
+    if (best == nullptr || completion < best_completion) {
+      best = &comp;
+      best_completion = completion;
+    }
+  }
+  if (best == nullptr) {
+    std::string who;
+    for (const auto& name : refused) {
+      if (!who.empty()) who += ", ";
+      who += name;
+    }
+    throw InvalidInput("no schedulable competitor for signature " +
+                       sig.encode() + " (refused: " + who + ")");
+  }
+  const exp::InstancePtr inst = instances_.get(sig.root, m);
+  return std::make_shared<const SchedulePlan>(SchedulePlan{
+      sig, std::string(best->name()),
+      sched::registry().make(best->name(), best->options()),
+      best->run(*inst), best_completion, m});
+}
+
+PlanPtr PlanService::plan_for(collective::Verb verb, ClusterId root, Bytes m) {
+  return plans_.get(signature_for(verb, root, m),
+                    [this](const PlanSignature& sig) {
+                      return build_plan(sig);
+                    });
+}
+
+PlanService::Reply PlanService::handle_line(std::string_view line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos || line[first] == '#') return {};
+  const std::vector<std::string> toks = tokens_of(line);
+  try {
+    if (toks[0] == "quit") return {.text = "bye", .quit = true};
+    if (toks[0] == "stats") {
+      std::string out = "stats grid=" + grid_name_;
+      out += " schedulers=" + std::to_string(comps_.size());
+      out += " plans=" + std::to_string(plans_.entries());
+      out += " plan_bytes=" + std::to_string(plans_.bytes_in_use());
+      out += " hits=" + std::to_string(plans_.hits());
+      out += " misses=" + std::to_string(plans_.misses());
+      out += " evictions=" + std::to_string(plans_.evictions());
+      out += " collisions=" + std::to_string(plans_.collisions());
+      out += " instances=" + std::to_string(instances_.entries());
+      out += " instance_hits=" + std::to_string(instances_.hits());
+      out += " instance_misses=" + std::to_string(instances_.misses());
+      return {.text = std::move(out)};
+    }
+    if (toks[0] == "plan") {
+      if (toks.size() != 4)
+        throw InvalidInput("usage: plan <verb> <root> <size>");
+      const collective::Verb verb = collective::to_verb(toks[1]);
+      const ClusterId root = parse_root(toks[2]);
+      const Bytes size = exp::parse_size(toks[3]);
+      const PlanSignature sig = signature_for(verb, root, size);
+      PlanPtr plan = plans_.find(sig);
+      const bool hit = plan != nullptr;
+      if (!hit) plan = plans_.insert(build_plan(sig));
+      std::string out = "plan verb=";
+      out += collective::verb_name(verb);
+      out += " root=" + std::to_string(root);
+      out += " size=" + std::to_string(size);
+      out += " bucket=" + std::to_string(sig.size_bucket);
+      out += " sched=" + plan->scheduler;
+      out += " makespan=" + fmt17(plan->predicted_makespan);
+      out += " transfers=" + std::to_string(plan->schedule.transfers.size());
+      out += hit ? " hit" : " miss";
+      return {.text = std::move(out), .hit = hit};
+    }
+    throw InvalidInput("unknown command '" + toks[0] +
+                       "' (valid: plan, stats, quit)");
+  } catch (const InvalidInput& e) {
+    return {.text = std::string("error: ") + e.what()};
+  }
+}
+
+// ------------------------------------------------------------------ replay
+
+std::vector<ReplayRequest> parse_request_log(std::istream& in) {
+  std::vector<ReplayRequest> out;
+  std::size_t lineno = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      const std::vector<std::string> toks = tokens_of(line);
+      if (toks.size() != 4 || toks[0] != "plan")
+        throw InvalidInput("expected 'plan <verb> <root> <size>'");
+      out.push_back(ReplayRequest{collective::to_verb(toks[1]),
+                                  parse_root(toks[2]),
+                                  exp::parse_size(toks[3])});
+    } catch (const InvalidInput& e) {
+      throw InvalidInput("request log line " + std::to_string(lineno) + ": " +
+                         e.what());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+io::BenchSeries value_cell(std::string name, double value) {
+  io::BenchSeries s;
+  s.name = std::move(name);
+  s.makespan_s = {value};
+  return s;
+}
+
+/// Nearest-rank percentile over a sorted sample (q in (0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  const auto k = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[(k == 0 ? 1 : k) - 1];
+}
+
+}  // namespace
+
+io::BenchReport replay_requests(PlanService& service,
+                                const std::vector<ReplayRequest>& requests,
+                                ThreadPool& pool, const ReplayOptions& opts) {
+  if (requests.empty()) throw InvalidInput("serve replay: empty request log");
+  const std::size_t batch = opts.batch == 0 ? 1 : opts.batch;
+
+  using clock = std::chrono::steady_clock;
+  const auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+
+  std::uint64_t hits = 0;
+  std::uint64_t plans_built = 0;
+  double predicted_sum = 0.0;
+  std::vector<double> latency;
+  if (opts.timing) latency.reserve(requests.size());
+  const auto t_start = clock::now();
+
+  for (std::size_t lo = 0; lo < requests.size(); lo += batch) {
+    const std::size_t hi = std::min(lo + batch, requests.size());
+    const std::size_t n = hi - lo;
+
+    // Phase 1 (serial): probe residency in request order.  A request is a
+    // *hit* when its plan is resident — or pending from an earlier request
+    // of this batch, which a serial one-at-a-time replay would also have
+    // answered from cache.  This equivalence is what keeps the hit/miss
+    // accounting identical for every batch split.
+    std::vector<std::string> key(n);
+    std::map<std::string, PlanPtr> resolved;  // this batch, by encoding
+    std::vector<std::pair<std::string, PlanSignature>> pending;
+    std::vector<bool> deferred(n, false);  // answered only after the build
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t0 = clock::now();
+      const ReplayRequest& rq = requests[lo + i];
+      const PlanSignature sig =
+          service.signature_for(rq.verb, rq.root, rq.size);
+      key[i] = sig.encode();
+      if (const auto it = resolved.find(key[i]); it != resolved.end()) {
+        ++hits;  // resident, or pending-hit behind an earlier miss
+        deferred[i] = it->second == nullptr;
+      } else if (PlanPtr p = service.plans().find(sig)) {
+        ++hits;
+        resolved.emplace(key[i], std::move(p));
+      } else {
+        deferred[i] = true;
+        resolved.emplace(key[i], nullptr);
+        pending.emplace_back(key[i], sig);
+      }
+      if (opts.timing) latency.push_back(seconds_since(t0));
+    }
+
+    // Phase 2 (parallel): build the batch's distinct missing plans across
+    // the pool.  Builds are independent and deterministic, so the worker
+    // count cannot change any result.
+    const auto t_build = clock::now();
+    std::vector<PlanPtr> built(pending.size());
+    pool.parallel_for(pending.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t j = b; j < e; ++j)
+        built[j] = service.build_plan(pending[j].second);
+    });
+
+    // Phase 3 (serial): insert in pending order — one deterministic LRU
+    // and eviction history whatever ran where.
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      resolved[pending[j].first] = service.plans().insert(std::move(built[j]));
+      ++plans_built;
+    }
+
+    // Phase 4 (serial): answer in request order.  A deferred request's
+    // latency includes the batch build it waited on.
+    const double build_s = opts.timing ? seconds_since(t_build) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PlanPtr& p = resolved[key[i]];
+      predicted_sum += p->predicted_makespan;
+      if (opts.timing && deferred[i]) latency[lo + i] += build_s;
+    }
+  }
+
+  const double wall_s = seconds_since(t_start);
+  const auto total = static_cast<std::uint64_t>(requests.size());
+
+  io::BenchReport r;
+  r.bench = "serve";
+  r.grid = service.grid_name();
+  r.mode = "predicted";
+  r.sizes = {total};
+  const auto count = static_cast<double>(total);
+  r.series.push_back(
+      value_cell("hit_rate", static_cast<double>(hits) / count));
+  r.series.push_back(value_cell("hits", static_cast<double>(hits)));
+  r.series.push_back(
+      value_cell("misses", static_cast<double>(total - hits)));
+  r.series.push_back(
+      value_cell("plans_built", static_cast<double>(plans_built)));
+  r.series.push_back(value_cell(
+      "evictions", static_cast<double>(service.plans().evictions())));
+  r.series.push_back(value_cell(
+      "collisions", static_cast<double>(service.plans().collisions())));
+  r.series.push_back(value_cell("predicted_sum_s", predicted_sum));
+  if (opts.timing) {
+    // The host-dependent tail: a lower-bounded requests/sec gate and
+    // upper-bounded latency gates (wall_factor), exactly the directions
+    // compare_bench already applies to throughput and wall_time_s.
+    io::BenchSeries rps;
+    rps.name = "requests_per_s";
+    rps.throughput = {count / wall_s};
+    r.series.push_back(std::move(rps));
+    std::vector<double> sorted = latency;
+    std::sort(sorted.begin(), sorted.end());
+    const auto latency_cell = [&](std::string name, double q) {
+      io::BenchSeries s;
+      s.name = std::move(name);
+      // The value channel is deliberately null: latency is a wall cost,
+      // gated through wall_time_s; a null cell is skipped by the
+      // baseline compare.
+      s.makespan_s = {std::numeric_limits<double>::quiet_NaN()};
+      s.wall_time_s = percentile(sorted, q);
+      return s;
+    };
+    r.series.push_back(latency_cell("latency_p50_s", 0.50));
+    r.series.push_back(latency_cell("latency_p99_s", 0.99));
+  }
+  return r;
+}
+
+}  // namespace gridcast::serve

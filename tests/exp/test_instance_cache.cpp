@@ -125,7 +125,7 @@ TEST(InstanceCache, StatsReadableWhileCacheIsBusy) {
 TEST(InstanceCacheLru, UnboundedByDefault) {
   const auto grid = topology::grid5000_testbed();
   InstanceCache cache(grid);
-  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.capacity(), InstanceCache::kUnbounded);
   for (Bytes m = KiB(256); m <= MiB(8); m += KiB(128)) (void)cache.get(0, m);
   EXPECT_EQ(cache.evictions(), 0u);
   EXPECT_GT(cache.bytes_in_use(), 0u);
@@ -190,9 +190,41 @@ TEST(InstanceCacheLru, SetCapacityEvictsImmediately) {
   EXPECT_EQ(cache.evictions(), 2u);
   EXPECT_LE(cache.bytes_in_use(), 2 * one);
   // Back to unbounded: nothing further evicts.
-  cache.set_capacity(0);
+  cache.set_capacity(InstanceCache::kUnbounded);
   for (Bytes m = MiB(5); m <= MiB(8); m += MiB(1)) (void)cache.get(0, m);
   EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(InstanceCacheLru, CapacityZeroIsPassThrough) {
+  // capacity 0 means "never retain", not "unbounded": every get derives
+  // and hands the caller the sole reference.  Nothing is pinned, so the
+  // byte account and entry count stay zero and no eviction ever fires —
+  // the stats pin below is the contract.
+  const auto grid = topology::grid5000_testbed();
+  InstanceCache cache(grid, 0);
+  EXPECT_EQ(cache.capacity(), 0u);
+
+  const InstancePtr a = cache.get(0, MiB(1));
+  const InstancePtr b = cache.get(0, MiB(1));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());  // re-derived, never cached
+  EXPECT_DOUBLE_EQ(a->T(0), b->T(0));
+
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes_in_use(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Dropping to pass-through mid-life releases everything already held.
+  cache.set_capacity(InstanceCache::kUnbounded);
+  (void)cache.get(0, MiB(2));
+  EXPECT_EQ(cache.entries(), 1u);
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes_in_use(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
 }
 
 TEST(InstanceCacheLru, TinyCapacityStillServes) {

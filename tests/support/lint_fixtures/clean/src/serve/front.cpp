@@ -1,0 +1,8 @@
+#include <map>
+#include "exp/instance_cache.hpp"
+#include "io/bench_json.hpp"
+#include "sched/registry.hpp"
+#include "support/error.hpp"
+namespace gridcast::serve {
+int front();
+}  // namespace gridcast::serve

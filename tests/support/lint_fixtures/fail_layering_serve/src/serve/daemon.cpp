@@ -1,0 +1,4 @@
+#include "sim/engine.hpp"
+namespace gridcast::serve {
+int daemon_loop();
+}  // namespace gridcast::serve

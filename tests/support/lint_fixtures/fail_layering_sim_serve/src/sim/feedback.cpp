@@ -1,0 +1,4 @@
+#include "serve/plan_cache.hpp"
+namespace gridcast::sim {
+int feedback();
+}  // namespace gridcast::sim

@@ -1,0 +1,333 @@
+// gridcast_serve: the long-lived serving front-end over the schedule-plan
+// cache (src/serve).  Speaks a one-line-per-request protocol:
+//
+//     plan <verb> <root> <size>     e.g.  plan bcast 0 4MiB
+//     stats
+//     quit
+//
+// and answers each request with the winning scheduler, its predicted
+// makespan and the plan's cache status.  Three front-ends share one
+// PlanService:
+//
+//   gridcast_serve                          # interactive session on stdin
+//   gridcast_serve --port=7777              # loopback TCP, one session at
+//                                           # a time; SIGINT/SIGTERM stop it
+//   gridcast_serve --requests=FILE          # replay a request log, print
+//                                           # every reply
+//   gridcast_serve --requests=FILE --replay-report [--timing] [--out=F]
+//                                           # replay and emit the
+//                                           # "bench": "serve" BenchReport
+//
+// The replay report is byte-identical across runs, machines and
+// --threads values unless --timing adds the host-dependent series
+// (requests/sec, p50/p99 latency) — the CI serve lane gates that timing
+// run against BENCH_baseline_serve.json via `gridcast_race --check`.
+// Hits answer synchronously; each replay batch's distinct misses build in
+// parallel across the thread pool (--batch, --threads).
+//
+// All protocol, cache and replay logic lives in the library
+// (src/serve/server.hpp) where it is unit-tested; this file owns only
+// flags, terminals and sockets.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/race_cli.hpp"
+#include "io/grid_io.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/grid5000.hpp"
+
+namespace {
+
+using namespace gridcast;
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// std::signal on glibc gives BSD semantics (SA_RESTART), which would
+/// transparently restart the blocking accept()/read() and the daemon
+/// would never observe g_stop.  Install with sigaction and no
+/// SA_RESTART so the syscalls return EINTR and the loops re-check.
+void install_stop_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+std::string usage() {
+  return
+      "usage: gridcast_serve [options]\n"
+      "\n"
+      "Serving daemon over the schedule-plan cache.  Protocol (one line\n"
+      "per request): 'plan <verb> <root> <size>', 'stats', 'quit'.\n"
+      "\n"
+      "  --grid=grid5000|FILE   grid to serve (default: built-in testbed)\n"
+      "  --sched=all|a,b,c      competing schedulers (default: all)\n"
+      "  --completion=MODEL     eager | after-last-send (default: eager)\n"
+      "  --capacity=BYTES       plan-cache bound, e.g. 64M (default: unbounded;\n"
+      "                         0 = pass-through)\n"
+      "  --instance-capacity=BYTES  instance-cache bound (same spellings)\n"
+      "  --threads=N            replay worker threads (default: 0 = inline)\n"
+      "  --batch=N              replay batch size (default: 64)\n"
+      "  --requests=FILE        replay a request log instead of serving\n"
+      "  --replay-report        emit the \"serve\" BenchReport for the replay\n"
+      "  --timing               add requests/sec + latency series (host-\n"
+      "                         dependent; off keeps the report byte-stable)\n"
+      "  --out=FILE             write the report to FILE (default: stdout)\n"
+      "  --port=N               serve a loopback TCP session instead of stdin\n";
+}
+
+struct ServeCliArgs {
+  std::string grid_arg = "grid5000";
+  serve::ServeOptions service;
+  std::size_t threads = 0;
+  serve::ReplayOptions replay;
+  std::string requests_path;
+  bool replay_report = false;
+  std::string out_path;
+  int port = -1;
+};
+
+std::string value_of(const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq + 1 == arg.size())
+    throw InvalidInput("flag '" + arg.substr(0, eq) + "' needs a value");
+  return arg.substr(eq + 1);
+}
+
+std::uint64_t parse_count(const std::string& v, const char* what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long n = std::stoull(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    throw InvalidInput(std::string(what) + " must be a non-negative integer, "
+                       "got '" + v + "'");
+  }
+}
+
+ServeCliArgs parse_args(const std::vector<std::string>& args) {
+  ServeCliArgs cli;
+  for (const auto& arg : args) {
+    const std::string key = arg.substr(0, arg.find('='));
+    if (key == "--grid") {
+      cli.grid_arg = value_of(arg);
+    } else if (key == "--sched") {
+      const std::string v = value_of(arg);
+      if (v != "all") {
+        std::istringstream in(v);
+        for (std::string name; std::getline(in, name, ',');)
+          if (!name.empty()) cli.service.sched_names.push_back(name);
+      }
+    } else if (key == "--completion") {
+      const std::string v = value_of(arg);
+      if (v == "eager")
+        cli.service.completion = sched::CompletionModel::kEager;
+      else if (v == "after-last-send")
+        cli.service.completion = sched::CompletionModel::kAfterLastSend;
+      else
+        throw InvalidInput(
+            "--completion must be 'eager' or 'after-last-send', got '" + v +
+            "'");
+    } else if (key == "--capacity") {
+      cli.service.plan_capacity =
+          static_cast<std::size_t>(exp::parse_size(value_of(arg)));
+    } else if (key == "--instance-capacity") {
+      cli.service.instance_capacity =
+          static_cast<std::size_t>(exp::parse_size(value_of(arg)));
+    } else if (key == "--threads") {
+      cli.threads =
+          static_cast<std::size_t>(parse_count(value_of(arg), "--threads"));
+    } else if (key == "--batch") {
+      cli.replay.batch =
+          static_cast<std::size_t>(parse_count(value_of(arg), "--batch"));
+      if (cli.replay.batch == 0)
+        throw InvalidInput("--batch must be >= 1");
+    } else if (key == "--requests") {
+      cli.requests_path = value_of(arg);
+    } else if (arg == "--replay-report") {
+      cli.replay_report = true;
+    } else if (arg == "--timing") {
+      cli.replay.timing = true;
+    } else if (key == "--out") {
+      cli.out_path = value_of(arg);
+    } else if (key == "--port") {
+      const std::uint64_t p = parse_count(value_of(arg), "--port");
+      if (p == 0 || p > 65535) throw InvalidInput("--port must be 1..65535");
+      cli.port = static_cast<int>(p);
+    } else {
+      throw InvalidInput("unknown flag '" + arg + "' (see --help)");
+    }
+  }
+  if (cli.requests_path.empty() && (cli.replay_report || cli.replay.timing))
+    throw InvalidInput("--replay-report/--timing need --requests=FILE");
+  if (!cli.requests_path.empty() && cli.port >= 0)
+    throw InvalidInput("--requests and --port are mutually exclusive");
+  return cli;
+}
+
+topology::Grid load_grid(const std::string& grid_arg, std::string& grid_name) {
+  if (grid_arg == "grid5000") {
+    grid_name = "grid5000_testbed";
+    return topology::grid5000_testbed();
+  }
+  std::ifstream in(grid_arg);
+  if (!in)
+    throw InvalidInput("cannot open grid file '" + grid_arg +
+                       "' (use --grid=grid5000 for the built-in testbed)");
+  grid_name = grid_arg;
+  return io::read_grid(in);
+}
+
+int run_replay(const ServeCliArgs& cli, serve::PlanService& service) {
+  std::ifstream in(cli.requests_path);
+  if (!in)
+    throw InvalidInput("cannot open request log '" + cli.requests_path + "'");
+  const std::vector<serve::ReplayRequest> requests =
+      serve::parse_request_log(in);
+  if (!cli.replay_report) {
+    // Reply-stream mode: every request through the interactive path, so a
+    // log replays exactly like piping it to stdin.
+    for (const auto& rq : requests) {
+      std::string line = "plan ";
+      line += collective::verb_name(rq.verb);
+      line += ' ' + std::to_string(rq.root) + ' ' + std::to_string(rq.size);
+      const auto reply = service.handle_line(line);
+      if (!reply.text.empty()) std::cout << reply.text << '\n';
+    }
+    return 0;
+  }
+  ThreadPool pool(cli.threads);
+  const io::BenchReport report =
+      serve::replay_requests(service, requests, pool, cli.replay);
+  if (cli.out_path.empty()) {
+    io::write_bench_json(std::cout, report);
+  } else {
+    std::ofstream out(cli.out_path);
+    if (!out)
+      throw InvalidInput("cannot open '" + cli.out_path + "' for writing");
+    io::write_bench_json(out, report);
+  }
+  return 0;
+}
+
+int run_stdin(serve::PlanService& service) {
+  for (std::string line; std::getline(std::cin, line);) {
+    const auto reply = service.handle_line(line);
+    if (!reply.text.empty()) std::cout << reply.text << std::endl;
+    if (reply.quit) break;
+  }
+  return 0;
+}
+
+/// One loopback TCP session at a time: accept, serve lines until `quit`
+/// or disconnect, accept again — until SIGINT/SIGTERM.  Serving is
+/// single-threaded by design (the caches are thread-safe, but ordering
+/// replies within a session matters more than parallel sessions here).
+int run_tcp(int port, serve::PlanService& service) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) throw InvalidInput("socket(): " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listener, 1) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listener);
+    throw InvalidInput("cannot listen on 127.0.0.1:" + std::to_string(port) +
+                       ": " + why);
+  }
+  std::cerr << "gridcast_serve: listening on 127.0.0.1:" << port << "\n";
+  while (g_stop == 0) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;  // signal: re-check g_stop
+      const std::string why = std::strerror(errno);
+      ::close(listener);
+      throw InvalidInput("accept(): " + why);
+    }
+    std::string buf;
+    char chunk[4096];
+    bool quit = false;
+    while (!quit && g_stop == 0) {
+      const ssize_t n = ::read(conn, chunk, sizeof chunk);
+      if (n <= 0) break;  // disconnect (or EINTR on shutdown)
+      buf.append(chunk, static_cast<std::size_t>(n));
+      for (std::size_t nl = buf.find('\n'); nl != std::string::npos;
+           nl = buf.find('\n')) {
+        const std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        const auto reply = service.handle_line(line);
+        if (!reply.text.empty()) {
+          const std::string out = reply.text + "\n";
+          ssize_t off = 0;
+          while (off < static_cast<ssize_t>(out.size())) {
+            const ssize_t w = ::write(conn, out.data() + off,
+                                      out.size() - static_cast<std::size_t>(off));
+            if (w <= 0) break;
+            off += w;
+          }
+        }
+        if (reply.quit) {
+          quit = true;
+          break;
+        }
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  std::cerr << "gridcast_serve: shutting down\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::cout << usage();
+      return 0;
+    }
+  }
+  try {
+    const ServeCliArgs cli = parse_args(args);
+    std::string grid_name;
+    const topology::Grid grid = load_grid(cli.grid_arg, grid_name);
+    serve::PlanService service(grid, grid_name, cli.service);
+    if (!cli.requests_path.empty()) return run_replay(cli, service);
+    if (cli.port >= 0) {
+      install_stop_handlers();
+      return run_tcp(cli.port, service);
+    }
+    return run_stdin(service);
+  } catch (const gridcast::InvalidInput& e) {
+    std::cerr << "gridcast_serve: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "gridcast_serve: internal error: " << e.what() << "\n";
+    return 3;
+  }
+}
