@@ -1,10 +1,24 @@
 #include "serve/plan_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/error.hpp"
 
 namespace gridcast::serve {
+
+SchedulePlanCache::SchedulePlanCache(std::size_t capacity_bytes,
+                                     AdmissionPolicy admission)
+    : capacity_(capacity_bytes), admission_(admission) {
+  if (admission_.required_sightings > 1) {
+    if (admission_.ring_size < admission_.required_sightings)
+      throw InvalidInput(
+          "plan-cache admission: ring of " +
+          std::to_string(admission_.ring_size) + " can never hold " +
+          std::to_string(admission_.required_sightings) + " sightings");
+    ring_.assign(admission_.ring_size, 0);
+  }
+}
 
 std::size_t SchedulePlanCache::plan_bytes(const SchedulePlan& plan) noexcept {
   // The dominant payloads are the transfer list and the per-cluster finish
@@ -29,6 +43,16 @@ void SchedulePlanCache::evict_to_capacity() {
   }
 }
 
+void SchedulePlanCache::record_sighting(std::uint64_t key) {
+  if (ring_.empty()) return;  // policy admits everything; no bookkeeping
+  ring_[ring_pos_] = key;
+  ring_pos_ = (ring_pos_ + 1) % ring_.size();
+}
+
+std::size_t SchedulePlanCache::sightings_of(std::uint64_t key) const {
+  return static_cast<std::size_t>(std::count(ring_.begin(), ring_.end(), key));
+}
+
 PlanPtr SchedulePlanCache::find(const PlanSignature& sig) {
   const std::uint64_t key = sig.hash();
   std::lock_guard lk(mu_);
@@ -43,6 +67,22 @@ PlanPtr SchedulePlanCache::find(const PlanSignature& sig) {
     collisions_.fetch_add(1, std::memory_order_relaxed);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  record_sighting(key);
+  return nullptr;
+}
+
+PlanPtr SchedulePlanCache::peek(const PlanSignature& sig) {
+  const std::uint64_t key = sig.hash();
+  std::lock_guard lk(mu_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (it->second.plan->signature == sig) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.plan;
+    }
+  }
+  // Not resident (or a collision): no counters — the caller's follow-up
+  // `get` will account the miss exactly once.
   return nullptr;
 }
 
@@ -68,6 +108,16 @@ PlanPtr SchedulePlanCache::insert(PlanPtr plan) {
     cache_.erase(it);
   }
   const std::size_t sz = plan_bytes(*plan);
+  // Admission: an insert that would force an eviction must have earned
+  // its slot — `required_sightings` misses recorded in the probationary
+  // ring.  One-shot signatures bounce off here instead of churning the
+  // LRU; their callers still get the plan, uncached.
+  if (admission_.required_sightings > 1 && capacity_ != kUnbounded &&
+      bytes_ + sz > capacity_ &&
+      sightings_of(key) < admission_.required_sightings) {
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
   lru_.push_front(key);
   const auto [it, inserted] = cache_.try_emplace(key);
   it->second = Entry{std::move(plan), sz, lru_.begin()};
@@ -81,15 +131,77 @@ PlanPtr SchedulePlanCache::insert(PlanPtr plan) {
 
 PlanPtr SchedulePlanCache::get(
     const PlanSignature& sig,
-    const std::function<PlanPtr(const PlanSignature&)>& build) {
-  if (PlanPtr hit = find(sig)) return hit;
-  // Build outside the lock: distinct signatures must not serialise behind
-  // one selection run.
-  PlanPtr built = build(sig);
-  GRIDCAST_ASSERT(built != nullptr, "plan builder returned null");
-  GRIDCAST_ASSERT(built->signature == sig,
-                  "plan builder returned a mismatched signature");
-  return insert(std::move(built));
+    const std::function<PlanPtr(const PlanSignature&)>& build,
+    GetStats* stats) {
+  const std::uint64_t key = sig.hash();
+  std::shared_ptr<Inflight> mine;
+  {
+    std::unique_lock lk(mu_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      if (it->second.plan->signature == sig) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        if (stats != nullptr) stats->hit = true;
+        return it->second.plan;
+      }
+      collisions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    record_sighting(key);
+    if (const auto fl = inflight_.find(key); fl != inflight_.end() &&
+                                             fl->second->sig == sig) {
+      // The build-once latch: someone is already building this exact
+      // signature — wait for their result instead of duplicating the
+      // work.  The wait holds no lock, so hits and other signatures'
+      // builds proceed untouched.
+      build_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) stats->waited = true;
+      const std::shared_future<PlanPtr> result = fl->second->future;
+      lk.unlock();
+      return result.get();  // rethrows the builder's failure, if any
+    }
+    // First requester — or a hash-colliding in-flight build we must not
+    // share a latch with (it will produce a different plan); colliding
+    // requesters build unlatched, which is correct and vanishingly rare.
+    if (inflight_.find(key) == inflight_.end()) {
+      mine = std::make_shared<Inflight>(sig);
+      inflight_.emplace(key, mine);
+    }
+  }
+  PlanPtr resident;
+  try {
+    PlanPtr built = build(sig);
+    GRIDCAST_ASSERT(built != nullptr, "plan builder returned null");
+    GRIDCAST_ASSERT(built->signature == sig,
+                    "plan builder returned a mismatched signature");
+    resident = insert(std::move(built));
+  } catch (...) {
+    if (mine != nullptr) {
+      {
+        std::lock_guard lk(mu_);
+        if (const auto fl = inflight_.find(key);
+            fl != inflight_.end() && fl->second == mine)
+          inflight_.erase(fl);
+      }
+      // Waiters observe the same failure; the cleared latch lets the
+      // next requester retry the build.
+      mine->promise.set_exception(std::current_exception());
+    }
+    throw;
+  }
+  if (mine != nullptr) {
+    {
+      // Erase before fulfilling: a requester arriving between the two
+      // steps finds the plan resident (insert happened above) instead of
+      // a stale latch.
+      std::lock_guard lk(mu_);
+      if (const auto fl = inflight_.find(key);
+          fl != inflight_.end() && fl->second == mine)
+        inflight_.erase(fl);
+    }
+    mine->promise.set_value(resident);
+  }
+  return resident;
 }
 
 void SchedulePlanCache::set_capacity(std::size_t capacity_bytes) {
@@ -101,6 +213,11 @@ void SchedulePlanCache::set_capacity(std::size_t capacity_bytes) {
 std::size_t SchedulePlanCache::capacity() const {
   std::lock_guard lk(mu_);
   return capacity_;
+}
+
+AdmissionPolicy SchedulePlanCache::admission() const {
+  std::lock_guard lk(mu_);
+  return admission_;
 }
 
 std::size_t SchedulePlanCache::bytes_in_use() const {

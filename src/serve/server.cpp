@@ -6,7 +6,9 @@
 #include <cmath>
 #include <istream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "exp/race_cli.hpp"
@@ -57,7 +59,8 @@ PlanService::PlanService(const topology::Grid& grid, std::string grid_name,
       grid_hash_(grid_fingerprint(grid)),
       sched_rev_(scheduler_set_revision(comps_)),
       instances_(grid, opts_.instance_capacity),
-      plans_(opts_.plan_capacity) {
+      plans_(opts_.plan_capacity,
+             AdmissionPolicy{opts_.admission_k, opts_.admission_ring}) {
   GRIDCAST_ASSERT(!comps_.empty(), "no competitors to serve with");
 }
 
@@ -167,49 +170,89 @@ PlanPtr PlanService::plan_for(collective::Verb verb, ClusterId root, Bytes m) {
                     });
 }
 
-PlanService::Reply PlanService::handle_line(std::string_view line) {
+PlanService::Served PlanService::serve(collective::Verb verb, ClusterId root,
+                                       Bytes m) {
+  const PlanSignature sig = signature_for(verb, root, m);
+  SchedulePlanCache::GetStats gs;
+  PlanPtr plan = plans_.get(
+      sig, [this](const PlanSignature& s) { return build_plan(s); }, &gs);
+  return Served{std::move(plan), gs.hit, gs.waited};
+}
+
+LineCommand parse_command(std::string_view line) {
   const std::size_t first = line.find_first_not_of(" \t\r");
   if (first == std::string_view::npos || line[first] == '#') return {};
   const std::vector<std::string> toks = tokens_of(line);
+  if (toks[0] == "quit") return {.kind = LineCommand::Kind::kQuit, .plan = {}};
+  if (toks[0] == "stats")
+    return {.kind = LineCommand::Kind::kStats, .plan = {}};
+  if (toks[0] == "plan") {
+    if (toks.size() != 4)
+      throw InvalidInput("usage: plan <verb> <root> <size>");
+    return {.kind = LineCommand::Kind::kPlan,
+            .plan = ReplayRequest{collective::to_verb(toks[1]),
+                                  parse_root(toks[2]),
+                                  exp::parse_size(toks[3])}};
+  }
+  throw InvalidInput("unknown command '" + toks[0] +
+                     "' (valid: plan, stats, quit)");
+}
+
+std::string plan_reply_text(const ReplayRequest& rq, std::uint32_t bucket,
+                            const SchedulePlan& plan, bool hit) {
+  std::string out = "plan verb=";
+  out += collective::verb_name(rq.verb);
+  out += " root=" + std::to_string(rq.root);
+  out += " size=" + std::to_string(rq.size);
+  out += " bucket=" + std::to_string(bucket);
+  out += " sched=" + plan.scheduler;
+  out += " makespan=" + fmt17(plan.predicted_makespan);
+  out += " transfers=" + std::to_string(plan.schedule.transfers.size());
+  out += hit ? " hit" : " miss";
+  return out;
+}
+
+std::string PlanService::stats_line() const {
+  std::string out = "stats grid=" + grid_name_;
+  out += " schedulers=" + std::to_string(comps_.size());
+  out += " plans=" + std::to_string(plans_.entries());
+  out += " plan_bytes=" + std::to_string(plans_.bytes_in_use());
+  out += " hits=" + std::to_string(plans_.hits());
+  out += " misses=" + std::to_string(plans_.misses());
+  out += " evictions=" + std::to_string(plans_.evictions());
+  out += " collisions=" + std::to_string(plans_.collisions());
+  out += " admission_rejects=" + std::to_string(plans_.admission_rejects());
+  out += " build_waits=" + std::to_string(plans_.build_waits());
+  out += " instances=" + std::to_string(instances_.entries());
+  out += " instance_hits=" + std::to_string(instances_.hits());
+  out += " instance_misses=" + std::to_string(instances_.misses());
+  return out;
+}
+
+PlanService::Reply PlanService::handle_line(std::string_view line) {
   try {
-    if (toks[0] == "quit") return {.text = "bye", .quit = true};
-    if (toks[0] == "stats") {
-      std::string out = "stats grid=" + grid_name_;
-      out += " schedulers=" + std::to_string(comps_.size());
-      out += " plans=" + std::to_string(plans_.entries());
-      out += " plan_bytes=" + std::to_string(plans_.bytes_in_use());
-      out += " hits=" + std::to_string(plans_.hits());
-      out += " misses=" + std::to_string(plans_.misses());
-      out += " evictions=" + std::to_string(plans_.evictions());
-      out += " collisions=" + std::to_string(plans_.collisions());
-      out += " instances=" + std::to_string(instances_.entries());
-      out += " instance_hits=" + std::to_string(instances_.hits());
-      out += " instance_misses=" + std::to_string(instances_.misses());
-      return {.text = std::move(out)};
+    const LineCommand cmd = parse_command(line);
+    switch (cmd.kind) {
+      case LineCommand::Kind::kNone:
+        return {};
+      case LineCommand::Kind::kQuit:
+        return {.text = "bye", .quit = true};
+      case LineCommand::Kind::kStats:
+        return {.text = stats_line()};
+      case LineCommand::Kind::kPlan: {
+        // The latched path: a resident plan answers immediately, the
+        // first requester of a missing signature builds it, concurrent
+        // requesters of the same signature share that build.  A waited
+        // answer reports `miss` — the plan was not resident when asked.
+        const Served served = serve(cmd.plan.verb, cmd.plan.root,
+                                    cmd.plan.size);
+        return {.text = plan_reply_text(cmd.plan,
+                                        served.plan->signature.size_bucket,
+                                        *served.plan, served.hit),
+                .hit = served.hit};
+      }
     }
-    if (toks[0] == "plan") {
-      if (toks.size() != 4)
-        throw InvalidInput("usage: plan <verb> <root> <size>");
-      const collective::Verb verb = collective::to_verb(toks[1]);
-      const ClusterId root = parse_root(toks[2]);
-      const Bytes size = exp::parse_size(toks[3]);
-      const PlanSignature sig = signature_for(verb, root, size);
-      PlanPtr plan = plans_.find(sig);
-      const bool hit = plan != nullptr;
-      if (!hit) plan = plans_.insert(build_plan(sig));
-      std::string out = "plan verb=";
-      out += collective::verb_name(verb);
-      out += " root=" + std::to_string(root);
-      out += " size=" + std::to_string(size);
-      out += " bucket=" + std::to_string(sig.size_bucket);
-      out += " sched=" + plan->scheduler;
-      out += " makespan=" + fmt17(plan->predicted_makespan);
-      out += " transfers=" + std::to_string(plan->schedule.transfers.size());
-      out += hit ? " hit" : " miss";
-      return {.text = std::move(out), .hit = hit};
-    }
-    throw InvalidInput("unknown command '" + toks[0] +
-                       "' (valid: plan, stats, quit)");
+    return {};  // unreachable; switch covers every kind
   } catch (const InvalidInput& e) {
     return {.text = std::string("error: ") + e.what()};
   }
@@ -262,54 +305,63 @@ io::BenchReport replay_requests(PlanService& service,
                                 ThreadPool& pool, const ReplayOptions& opts) {
   if (requests.empty()) throw InvalidInput("serve replay: empty request log");
   const std::size_t batch = opts.batch == 0 ? 1 : opts.batch;
+  const std::size_t sessions = opts.sessions == 0 ? 1 : opts.sessions;
 
   using clock = std::chrono::steady_clock;
   const auto seconds_since = [](clock::time_point t0) {
     return std::chrono::duration<double>(clock::now() - t0).count();
   };
 
+  // ---- Deterministic pass: the report's exact series are *defined* as
+  // serial one-request-at-a-time semantics from a cold cache.  They are
+  // computed against a private model cache configured like the live one
+  // (same capacity and admission policy), so they are a pure function of
+  // (service configuration, log): the worker count, the session count
+  // and however warm the live cache already is (e.g. after --warm) can
+  // never change a byte of them.
+  SchedulePlanCache model(service.plans().capacity(),
+                          service.plans().admission());
+  // Every distinct signature is built once per replay, in parallel across
+  // the pool; the serial accounting below replays inserts (and, under
+  // eviction, re-inserts) from here.
+  std::map<std::string, PlanPtr> built_by_key;
   std::uint64_t hits = 0;
   std::uint64_t plans_built = 0;
+  std::uint64_t build_waits = 0;
   double predicted_sum = 0.0;
   std::vector<double> latency;
-  if (opts.timing) latency.reserve(requests.size());
+  const bool serial_timing = opts.timing && sessions <= 1;
+  if (serial_timing) latency.reserve(requests.size());
   const auto t_start = clock::now();
 
   for (std::size_t lo = 0; lo < requests.size(); lo += batch) {
     const std::size_t hi = std::min(lo + batch, requests.size());
     const std::size_t n = hi - lo;
 
-    // Phase 1 (serial): probe residency in request order.  A request is a
-    // *hit* when its plan is resident — or pending from an earlier request
-    // of this batch, which a serial one-at-a-time replay would also have
-    // answered from cache.  This equivalence is what keeps the hit/miss
-    // accounting identical for every batch split.
+    // Phase 1 (serial): signatures, plus this batch's build list — each
+    // distinct signature not built earlier in the replay.  A repeat of a
+    // just-scheduled signature inside the batch is the deterministic
+    // `build_waits` model: had the batch run concurrently, that request
+    // would have waited on the first requester's build latch.
+    std::vector<PlanSignature> sig;
+    sig.reserve(n);
     std::vector<std::string> key(n);
-    std::map<std::string, PlanPtr> resolved;  // this batch, by encoding
     std::vector<std::pair<std::string, PlanSignature>> pending;
-    std::vector<bool> deferred(n, false);  // answered only after the build
+    std::set<std::string> scheduled;
     for (std::size_t i = 0; i < n; ++i) {
-      const auto t0 = clock::now();
       const ReplayRequest& rq = requests[lo + i];
-      const PlanSignature sig =
-          service.signature_for(rq.verb, rq.root, rq.size);
-      key[i] = sig.encode();
-      if (const auto it = resolved.find(key[i]); it != resolved.end()) {
-        ++hits;  // resident, or pending-hit behind an earlier miss
-        deferred[i] = it->second == nullptr;
-      } else if (PlanPtr p = service.plans().find(sig)) {
-        ++hits;
-        resolved.emplace(key[i], std::move(p));
-      } else {
-        deferred[i] = true;
-        resolved.emplace(key[i], nullptr);
-        pending.emplace_back(key[i], sig);
+      sig.push_back(service.signature_for(rq.verb, rq.root, rq.size));
+      key[i] = sig[i].encode();
+      if (!built_by_key.contains(key[i])) {
+        if (scheduled.insert(key[i]).second)
+          pending.emplace_back(key[i], sig[i]);
+        else
+          ++build_waits;
       }
-      if (opts.timing) latency.push_back(seconds_since(t0));
     }
 
-    // Phase 2 (parallel): build the batch's distinct missing plans across
-    // the pool.  Builds are independent and deterministic, so the worker
+    // Phase 2 (parallel): build the batch's new signatures across the
+    // pool.  Builds are independent and deterministic, so the worker
     // count cannot change any result.
     const auto t_build = clock::now();
     std::vector<PlanPtr> built(pending.size());
@@ -317,25 +369,75 @@ io::BenchReport replay_requests(PlanService& service,
       for (std::size_t j = b; j < e; ++j)
         built[j] = service.build_plan(pending[j].second);
     });
+    for (std::size_t j = 0; j < pending.size(); ++j)
+      built_by_key[pending[j].first] = std::move(built[j]);
+    const double build_s = serial_timing ? seconds_since(t_build) : 0.0;
 
-    // Phase 3 (serial): insert in pending order — one deterministic LRU
-    // and eviction history whatever ran where.
-    for (std::size_t j = 0; j < pending.size(); ++j) {
-      resolved[pending[j].first] = service.plans().insert(std::move(built[j]));
-      ++plans_built;
-    }
-
-    // Phase 4 (serial): answer in request order.  A deferred request's
-    // latency includes the batch build it waited on.
-    const double build_s = opts.timing ? seconds_since(t_build) : 0.0;
+    // Phase 3 (serial): replay the batch one request at a time against
+    // the model cache — find, and on a miss insert the prebuilt plan —
+    // so hit/miss, eviction, collision and admission accounting are
+    // exactly the serial cold daemon's.  A request's latency includes
+    // the batch build it waited on when it missed.
     for (std::size_t i = 0; i < n; ++i) {
-      const PlanPtr& p = resolved[key[i]];
+      const auto t0 = clock::now();
+      PlanPtr p = model.find(sig[i]);
+      const bool missed = p == nullptr;
+      if (missed) {
+        ++plans_built;
+        p = model.insert(built_by_key[key[i]]);
+      } else {
+        ++hits;
+      }
       predicted_sum += p->predicted_makespan;
-      if (opts.timing && deferred[i]) latency[lo + i] += build_s;
+      if (serial_timing)
+        latency.push_back(seconds_since(t0) + (missed ? build_s : 0.0));
+    }
+  }
+  double wall_s = seconds_since(t_start);
+
+  // ---- Concurrent pass: with `sessions > 1`, drive the same log
+  // through the live request path — contiguous shards, one session
+  // thread each, all hammering the latched caches at once.  It
+  // contributes nothing to the exact series (defined above) and, when
+  // timing is on, everything to the timing tail.
+  if (sessions > 1) {
+    std::vector<double> session_lat(opts.timing ? requests.size() : 0);
+    std::vector<std::string> session_error(sessions);
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    const auto t_sessions = clock::now();
+    for (std::size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        try {
+          const std::size_t b = requests.size() * s / sessions;
+          const std::size_t e = requests.size() * (s + 1) / sessions;
+          for (std::size_t i = b; i < e; ++i) {
+            const auto t0 = clock::now();
+            const ReplayRequest& rq = requests[i];
+            std::string line = "plan ";
+            line += collective::verb_name(rq.verb);
+            line += ' ' + std::to_string(rq.root) + ' ' +
+                    std::to_string(rq.size);
+            const PlanService::Reply reply = service.handle_line(line);
+            if (reply.text.rfind("error: ", 0) == 0)
+              throw InvalidInput("serve replay session " + std::to_string(s) +
+                                 ": " + reply.text);
+            if (opts.timing) session_lat[i] = seconds_since(t0);
+          }
+        } catch (const std::exception& ex) {
+          session_error[s] = ex.what();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& err : session_error)
+      if (!err.empty()) throw InvalidInput(err);
+    if (opts.timing) {
+      latency = std::move(session_lat);
+      wall_s = seconds_since(t_sessions);
     }
   }
 
-  const double wall_s = seconds_since(t_start);
   const auto total = static_cast<std::uint64_t>(requests.size());
 
   io::BenchReport r;
@@ -351,10 +453,14 @@ io::BenchReport replay_requests(PlanService& service,
       value_cell("misses", static_cast<double>(total - hits)));
   r.series.push_back(
       value_cell("plans_built", static_cast<double>(plans_built)));
+  r.series.push_back(
+      value_cell("build_waits", static_cast<double>(build_waits)));
+  r.series.push_back(
+      value_cell("evictions", static_cast<double>(model.evictions())));
+  r.series.push_back(
+      value_cell("collisions", static_cast<double>(model.collisions())));
   r.series.push_back(value_cell(
-      "evictions", static_cast<double>(service.plans().evictions())));
-  r.series.push_back(value_cell(
-      "collisions", static_cast<double>(service.plans().collisions())));
+      "admission_rejects", static_cast<double>(model.admission_rejects())));
   r.series.push_back(value_cell("predicted_sum_s", predicted_sum));
   if (opts.timing) {
     // The host-dependent tail: a lower-bounded requests/sec gate and
@@ -380,6 +486,42 @@ io::BenchReport replay_requests(PlanService& service,
     r.series.push_back(latency_cell("latency_p99_s", 0.99));
   }
   return r;
+}
+
+std::size_t warm_requests(PlanService& service,
+                          const std::vector<ReplayRequest>& requests,
+                          ThreadPool& pool, std::size_t batch) {
+  if (batch == 0) batch = 1;
+  std::size_t total_built = 0;
+  for (std::size_t lo = 0; lo < requests.size(); lo += batch) {
+    const std::size_t hi = std::min(lo + batch, requests.size());
+
+    // Distinct signatures of this batch not already resident.
+    std::vector<PlanSignature> pending;
+    std::set<std::string> scheduled;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const ReplayRequest& rq = requests[i];
+      const PlanSignature sig =
+          service.signature_for(rq.verb, rq.root, rq.size);
+      std::string key = sig.encode();
+      if (!scheduled.contains(key) && service.plans().find(sig) == nullptr) {
+        scheduled.insert(std::move(key));
+        pending.push_back(sig);
+      }
+    }
+
+    std::vector<PlanPtr> built(pending.size());
+    pool.parallel_for(pending.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t j = b; j < e; ++j)
+        built[j] = service.build_plan(pending[j]);
+    });
+
+    // Serial inserts in request order: a deterministic LRU and eviction
+    // history whatever ran where, exactly like replay's.
+    for (auto& p : built) (void)service.plans().insert(std::move(p));
+    total_built += pending.size();
+  }
+  return total_built;
 }
 
 }  // namespace gridcast::serve

@@ -40,6 +40,12 @@ struct ServeOptions {
   std::size_t plan_capacity = SchedulePlanCache::kUnbounded;
   /// Instance-cache byte bound (`exp::InstanceCache` semantics).
   std::size_t instance_capacity = exp::InstanceCache::kUnbounded;
+  /// Plan-cache admission under byte pressure: a signature must have
+  /// missed `admission_k` times within the probationary ring before its
+  /// plan may evict a resident one (1 = admit everything).
+  std::size_t admission_k = 1;
+  /// Probationary ring length (recent misses remembered for admission).
+  std::size_t admission_ring = 256;
 };
 
 class PlanService {
@@ -76,6 +82,22 @@ class PlanService {
   [[nodiscard]] PlanPtr plan_for(collective::Verb verb, ClusterId root,
                                  Bytes m);
 
+  /// One served request, with how it was answered: from residency
+  /// (`hit`), by waiting on another requester's in-flight build of the
+  /// same signature (`waited`), or by building (neither).
+  struct Served {
+    PlanPtr plan;
+    bool hit = false;
+    bool waited = false;
+  };
+
+  /// The full request path behind every front-end: `signature_for`, then
+  /// the latched cache `get` — hits answer immediately, the first
+  /// requester of a missing signature builds, concurrent requesters of
+  /// the same signature share that build, and requests for other
+  /// signatures never queue behind it.  Thread-safe.
+  [[nodiscard]] Served serve(collective::Verb verb, ClusterId root, Bytes m);
+
   /// One protocol exchange.  Commands:
   ///
   ///     plan <verb> <root> <size>   answer a schedule-request
@@ -93,6 +115,10 @@ class PlanService {
     bool quit = false; ///< session should close
   };
   [[nodiscard]] Reply handle_line(std::string_view line);
+
+  /// The one-line `stats` reply (also what `handle_line("stats")`
+  /// answers): cache and service counters, space-separated `key=value`.
+  [[nodiscard]] std::string stats_line() const;
 
   [[nodiscard]] const topology::Grid& grid() const noexcept { return *grid_; }
   [[nodiscard]] const std::string& grid_name() const noexcept {
@@ -134,6 +160,25 @@ struct ReplayRequest {
   Bytes size = 0;
 };
 
+/// One classified protocol line, for front-ends (the TCP session loop)
+/// that route the plan path differently from stats/quit: `kNone` is a
+/// blank or comment line (no reply), `kPlan` carries the parsed request.
+/// Malformed lines throw InvalidInput with the same one-line reasons
+/// `handle_line` turns into `error:` replies.
+struct LineCommand {
+  enum class Kind { kNone, kPlan, kStats, kQuit };
+  Kind kind = Kind::kNone;
+  ReplayRequest plan;  ///< valid when kind == kPlan
+};
+[[nodiscard]] LineCommand parse_command(std::string_view line);
+
+/// The deterministic single-line `plan` reply for a request answered by
+/// `plan`: shared by the interactive path and the TCP session loop so
+/// every front-end answers byte-identically.
+[[nodiscard]] std::string plan_reply_text(const ReplayRequest& rq,
+                                          std::uint32_t bucket,
+                                          const SchedulePlan& plan, bool hit);
+
 /// Parse a request log: one `plan <verb> <root> <size>` per line, blank
 /// lines and `#` comments skipped.  Strict — a malformed line throws
 /// InvalidInput with its line number (replay logs are checked-in CI
@@ -141,25 +186,57 @@ struct ReplayRequest {
 [[nodiscard]] std::vector<ReplayRequest> parse_request_log(std::istream& in);
 
 struct ReplayOptions {
-  /// Requests per batch: hits in a batch answer from residency first,
-  /// then the batch's distinct missing plans build across the pool.
+  /// Requests per batch: each batch's distinct missing plans build
+  /// across the pool before the batch is accounted serially.  The batch
+  /// is also the deterministic `build_waits` window (see below).
   std::size_t batch = 64;
   /// Add the host-dependent series (requests_per_s, latency_p50_s,
   /// latency_p99_s) to the report.  Off by default so the report is
   /// byte-identical across machines, runs and thread counts; the CI
   /// throughput gate opts in.
   bool timing = false;
+  /// Concurrent replay sessions: with `sessions > 1` the log is split
+  /// contiguously and each shard is driven through the live request path
+  /// (`handle_line`) by its own thread, hammering the latched caches
+  /// concurrently.  The deterministic series never depend on it — they
+  /// are computed by the serial accounting model — so the report stays
+  /// byte-identical for every session count; with `timing`, the timing
+  /// tail measures the concurrent run.
+  std::size_t sessions = 1;
 };
 
 /// Replay `requests` through the service and report the outcome as a
-/// `"bench": "serve"` BenchReport: the axis is the request count, and the
-/// deterministic series (hit_rate, hits, misses, plans_built, evictions,
-/// collisions, predicted_sum_s) are exact — hit/miss accounting follows
-/// serial one-at-a-time semantics whatever `opts.batch` splits the work
-/// into and whatever worker count `pool` runs, which is what makes the
-/// default report byte-stable.  Throws InvalidInput on an empty log.
+/// `"bench": "serve"` BenchReport: the axis is the request count, and
+/// the deterministic series (hit_rate, hits, misses, plans_built,
+/// build_waits, evictions, collisions, admission_rejects,
+/// predicted_sum_s) are exact.
+///
+/// Accounting is defined as *serial one-request-at-a-time semantics from
+/// a cold cache*, computed against a private model cache configured like
+/// the service's (same capacity and admission policy) — so the report is
+/// a pure function of (service configuration, log): byte-identical for
+/// every worker count, every session count, and regardless of how warm
+/// the live cache already is.  `build_waits` is the one batch-scoped
+/// series: it counts the requests that would have waited on an earlier
+/// same-batch requester's in-flight build had the batch run
+/// concurrently (0 at `batch == 1`); every other series is additionally
+/// invariant under `--batch`.  Each distinct signature is built once per
+/// replay (in parallel across `pool`); `plans_built` reports the builds
+/// the serial cold daemon would have run, which under eviction can
+/// exceed the builds actually executed.  Throws InvalidInput on an
+/// empty log.
 [[nodiscard]] io::BenchReport replay_requests(
     PlanService& service, const std::vector<ReplayRequest>& requests,
     ThreadPool& pool, const ReplayOptions& opts = {});
+
+/// Warm the service's *live* plan cache from a request log: per batch,
+/// the distinct signatures not already resident build across `pool` and
+/// insert in request order — the same batched build path replay uses,
+/// against the real cache.  Warming traffic is ordinary traffic: it
+/// shows up in the `stats` counters and is subject to the admission
+/// policy under byte pressure.  Returns the number of plans built.
+std::size_t warm_requests(PlanService& service,
+                          const std::vector<ReplayRequest>& requests,
+                          ThreadPool& pool, std::size_t batch = 64);
 
 }  // namespace gridcast::serve

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <thread>
 #include <vector>
+
+#include "support/error.hpp"
 
 namespace gridcast::serve {
 namespace {
@@ -186,9 +189,133 @@ TEST(PlanCache, ConcurrentGetsShareOneObjectPerSignature) {
   for (int t = 0; t < kThreads; ++t) ASSERT_NE(last[t], nullptr);
   // Whatever is resident now is the shared object for its signature.
   for (std::uint32_t b = 0; b < kSignatures; ++b) {
-    if (const PlanPtr p = cache.find(sig_of(b)))
+    if (const PlanPtr p = cache.find(sig_of(b))) {
       EXPECT_EQ(p->signature, sig_of(b));
+    }
   }
+}
+
+TEST(PlanCache, PeekCountsHitsButNeverMisses) {
+  SchedulePlanCache cache;
+  // Absent: no counters move — the follow-up get() owns the miss.
+  EXPECT_EQ(cache.peek(sig_of(70)), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+
+  const PlanPtr resident = cache.insert(fake_plan(sig_of(70)));
+  EXPECT_EQ(cache.peek(sig_of(70)).get(), resident.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+
+  // peek promotes like find: under a 2-plan bound, peeking bucket 70
+  // makes bucket 71 the LRU victim.
+  SchedulePlanCache lru(2 * one_plan());
+  (void)lru.insert(fake_plan(sig_of(70)));
+  (void)lru.insert(fake_plan(sig_of(71)));
+  ASSERT_NE(lru.peek(sig_of(70)), nullptr);
+  (void)lru.insert(fake_plan(sig_of(72)));
+  EXPECT_NE(lru.peek(sig_of(70)), nullptr);
+  EXPECT_EQ(lru.peek(sig_of(71)), nullptr);  // evicted
+}
+
+TEST(PlanCache, LatchBuildsOnceAndWaitersShareTheResult) {
+  // Two concurrent get()s for one missing signature: the first builds
+  // (held on a gate until the second has provably latched), the second
+  // waits and shares the object — one build, one wait counted.
+  SchedulePlanCache cache;
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::atomic<int> builds{0};
+
+  PlanPtr first;
+  std::thread builder([&] {
+    first = cache.get(sig_of(80), [&](const PlanSignature& s) {
+      ++builds;
+      entered.set_value();
+      release.get_future().wait();
+      return fake_plan(s);
+    });
+  });
+  entered.get_future().wait();
+
+  PlanPtr second;
+  SchedulePlanCache::GetStats gs;
+  std::thread waiter([&] {
+    second = cache.get(
+        sig_of(80),
+        [&](const PlanSignature& s) {
+          ++builds;
+          return fake_plan(s);
+        },
+        &gs);
+  });
+  // The waiter must land on the latch before the build is released.
+  while (cache.build_waits() == 0) std::this_thread::yield();
+  release.set_value();
+  builder.join();
+  waiter.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_TRUE(gs.waited);
+  EXPECT_FALSE(gs.hit);
+  EXPECT_EQ(cache.build_waits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);  // both requests missed; one build
+}
+
+TEST(PlanCache, LatchedBuildFailurePropagatesAndClears) {
+  SchedulePlanCache cache;
+  const auto boom = [](const PlanSignature&) -> PlanPtr {
+    throw InvalidInput("no plan for you");
+  };
+  EXPECT_THROW((void)cache.get(sig_of(81), boom), InvalidInput);
+  // The latch is cleared: the next requester retries (and can succeed).
+  const PlanPtr p =
+      cache.get(sig_of(81), [](const PlanSignature& s) { return fake_plan(s); });
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->signature.size_bucket, 81u);
+}
+
+TEST(PlanCache, AdmissionProtectsResidentsUntilKSightings) {
+  // k=2 under a one-plan bound: a single-sighting insert that would have
+  // to evict is rejected (caller still gets the plan, uncached); after a
+  // second recorded miss the same signature earns the slot.
+  SchedulePlanCache cache(one_plan(), AdmissionPolicy{2, 8});
+  EXPECT_EQ(cache.find(sig_of(90)), nullptr);  // sighting #1
+  const PlanPtr resident = cache.insert(fake_plan(sig_of(90)));
+  EXPECT_EQ(cache.entries(), 1u);  // fits without evicting: admitted
+
+  EXPECT_EQ(cache.find(sig_of(91)), nullptr);  // sighting #1 for 91
+  const PlanPtr mine = fake_plan(sig_of(91));
+  EXPECT_EQ(cache.insert(mine).get(), mine.get());  // rejected, handed back
+  EXPECT_EQ(cache.admission_rejects(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_NE(cache.find(sig_of(90)), nullptr);  // resident survived
+
+  EXPECT_EQ(cache.find(sig_of(91)), nullptr);  // sighting #2 for 91
+  EXPECT_NE(cache.insert(fake_plan(sig_of(91))), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);  // now it may evict bucket 90
+  EXPECT_NE(cache.find(sig_of(91)), nullptr);
+}
+
+TEST(PlanCache, AdmissionOnlyGatesUnderBytePressure) {
+  // Unbounded (or roomy) caches never consult the ring: k=5 with one
+  // sighting still admits when no eviction is needed.
+  SchedulePlanCache cache(SchedulePlanCache::kUnbounded, AdmissionPolicy{5, 8});
+  (void)cache.find(sig_of(95));
+  (void)cache.insert(fake_plan(sig_of(95)));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.admission_rejects(), 0u);
+}
+
+TEST(PlanCache, UnsatisfiableAdmissionIsRefused) {
+  // A ring of 2 can never hold 3 sightings: nothing would ever be
+  // admitted under pressure, so the configuration is an input error.
+  EXPECT_THROW(SchedulePlanCache(one_plan(), AdmissionPolicy{3, 2}),
+               InvalidInput);
+  // k=1 admits everything; any ring (even 0) is fine.
+  SchedulePlanCache ok(one_plan(), AdmissionPolicy{1, 0});
+  EXPECT_EQ(ok.admission_rejects(), 0u);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 
 #include <cmath>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/error.hpp"
@@ -202,23 +204,104 @@ TEST(Replay, EmptyLogIsRefused) {
   EXPECT_THROW((void)replay_requests(svc, {}, pool), InvalidInput);
 }
 
-TEST(Replay, ReportIsByteIdenticalAcrossThreadsAndBatches) {
+TEST(Replay, ReportIsByteIdenticalAcrossThreadsSessionsAndWarmth) {
   // The headline determinism pin: the default (no --timing) serve report
   // over the checked-in CI log is one byte string, whatever worker count
-  // runs the builds and however the batch boundaries fall.
+  // runs the builds, however many concurrent sessions hammer the live
+  // caches, and however warm the live cache already is.
   const std::vector<ReplayRequest> requests = checked_in_log();
   ASSERT_FALSE(requests.empty());
-  const auto run = [&](std::size_t workers, std::size_t batch) {
+  const auto run = [&](std::size_t workers, std::size_t sessions, bool warm) {
     PlanService svc(testbed(), "g5k");
     ThreadPool pool(workers);
+    if (warm) (void)warm_requests(svc, requests, pool);
     ReplayOptions opts;
-    opts.batch = batch;
+    opts.sessions = sessions;
     return io::bench_to_json(replay_requests(svc, requests, pool, opts));
   };
-  const std::string reference = run(0, 64);
-  EXPECT_EQ(run(4, 64), reference);
-  EXPECT_EQ(run(4, 7), reference);
-  EXPECT_EQ(run(1, 1), reference);  // strictly serial, one-at-a-time
+  const std::string reference = run(0, 1, false);
+  EXPECT_EQ(run(4, 1, false), reference);
+  EXPECT_EQ(run(4, 8, false), reference);  // 8 concurrent live sessions
+  EXPECT_EQ(run(4, 8, true), reference);   // ... over a pre-warmed cache
+  EXPECT_EQ(run(1, 2, true), reference);
+}
+
+TEST(Replay, BatchScopesOnlyBuildWaits) {
+  // `build_waits` is defined over the batch window (a same-batch repeat
+  // of a newly-scheduled build would have waited on its latch), so batch
+  // boundaries may move it — and nothing else.  A batch of one means
+  // nobody could ever wait.
+  const std::vector<ReplayRequest> requests = checked_in_log();
+  const auto run = [&](std::size_t batch) {
+    PlanService svc(testbed(), "g5k");
+    ThreadPool pool(2);
+    ReplayOptions opts;
+    opts.batch = batch;
+    return replay_requests(svc, requests, pool, opts);
+  };
+  const io::BenchReport wide = run(64);
+  const io::BenchReport narrow = run(7);
+  const io::BenchReport serial = run(1);
+  for (const char* name :
+       {"hit_rate", "hits", "misses", "plans_built", "evictions",
+        "collisions", "admission_rejects", "predicted_sum_s"}) {
+    const auto* w = wide.find_series(name);
+    const auto* n = narrow.find_series(name);
+    const auto* s = serial.find_series(name);
+    ASSERT_NE(w, nullptr) << name;
+    ASSERT_NE(n, nullptr) << name;
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(w->makespan_s[0], n->makespan_s[0]) << name;
+    EXPECT_EQ(w->makespan_s[0], s->makespan_s[0]) << name;
+  }
+  const auto* waits = serial.find_series("build_waits");
+  ASSERT_NE(waits, nullptr);
+  EXPECT_EQ(waits->makespan_s[0], 0.0);
+  const auto* wide_waits = wide.find_series("build_waits");
+  ASSERT_NE(wide_waits, nullptr);
+  EXPECT_GT(wide_waits->makespan_s[0], 0.0);  // the CI log has repeats
+}
+
+TEST(Replay, WarmRequestsPrimesTheLiveCache) {
+  const std::vector<ReplayRequest> requests = checked_in_log();
+  PlanService svc(testbed(), "g5k");
+  ThreadPool pool(2);
+  const std::size_t built = warm_requests(svc, requests, pool);
+  EXPECT_GT(built, 0u);
+  // Warming is idempotent: a second pass finds everything resident.
+  EXPECT_EQ(warm_requests(svc, requests, pool), 0u);
+  // Every logged request is now answered from residency on the live path.
+  for (const auto& rq : requests)
+    EXPECT_TRUE(svc.handle_line("plan " +
+                                std::string(collective::verb_name(rq.verb)) +
+                                ' ' + std::to_string(rq.root) + ' ' +
+                                std::to_string(rq.size))
+                    .hit);
+}
+
+TEST(PlanService, HitCompletesWhileMissBuilds) {
+  // The async-miss acceptance pin: a hit for a resident plan completes
+  // while a miss for a *different* signature is still mid-build — the
+  // build-once latch never queues other signatures behind it.
+  PlanService svc(testbed(), "g5k");
+  (void)svc.handle_line("plan bcast 0 1M");  // make Y resident
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::thread builder([&] {
+    const PlanSignature sig_x =
+        svc.signature_for(collective::Verb::kScatter, 1, KiB(64));
+    (void)svc.plans().get(sig_x, [&](const PlanSignature& s) {
+      entered.set_value();
+      release.get_future().wait();  // hold the build until the hit landed
+      return svc.build_plan(s);
+    });
+  });
+  entered.get_future().wait();
+  const auto reply = svc.handle_line("plan bcast 0 1M");
+  EXPECT_TRUE(reply.hit);  // answered while X's build is still blocked
+  release.set_value();
+  builder.join();
+  EXPECT_EQ(svc.plans().build_waits(), 0u);  // nobody had to wait
 }
 
 TEST(Replay, ReportRoundTripsAndSelfCompares) {

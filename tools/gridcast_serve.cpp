@@ -10,33 +10,26 @@
 // PlanService:
 //
 //   gridcast_serve                          # interactive session on stdin
-//   gridcast_serve --port=7777              # loopback TCP, one session at
-//                                           # a time; SIGINT/SIGTERM stop it
+//   gridcast_serve --port=7777              # loopback TCP, one thread per
+//                                           # session; SIGINT/SIGTERM stop it
 //   gridcast_serve --requests=FILE          # replay a request log, print
 //                                           # every reply
 //   gridcast_serve --requests=FILE --replay-report [--timing] [--out=F]
 //                                           # replay and emit the
 //                                           # "bench": "serve" BenchReport
 //
-// The replay report is byte-identical across runs, machines and
-// --threads values unless --timing adds the host-dependent series
-// (requests/sec, p50/p99 latency) — the CI serve lane gates that timing
-// run against BENCH_baseline_serve.json via `gridcast_race --check`.
-// Hits answer synchronously; each replay batch's distinct misses build in
-// parallel across the thread pool (--batch, --threads).
+// The replay report is byte-identical across runs, machines, --threads,
+// --sessions and --warm state unless --timing adds the host-dependent
+// series (requests/sec, p50/p99 latency) — the CI serve lane gates that
+// timing run against BENCH_baseline_serve.json via `gridcast_race
+// --check`.  Inside a TCP session, hits answer immediately while misses
+// build asynchronously behind the plan cache's build-once latch.
 //
-// All protocol, cache and replay logic lives in the library
-// (src/serve/server.hpp) where it is unit-tested; this file owns only
-// flags, terminals and sockets.
+// All protocol, cache, socket and replay logic lives in the library
+// (src/serve) where it is unit-tested; this file owns only flags,
+// terminals and signal handling.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <csignal>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +39,7 @@
 #include "exp/race_cli.hpp"
 #include "io/grid_io.hpp"
 #include "serve/server.hpp"
+#include "serve/socket_server.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/grid5000.hpp"
@@ -83,14 +77,23 @@ std::string usage() {
       "  --capacity=BYTES       plan-cache bound, e.g. 64M (default: unbounded;\n"
       "                         0 = pass-through)\n"
       "  --instance-capacity=BYTES  instance-cache bound (same spellings)\n"
-      "  --threads=N            replay worker threads (default: 0 = inline)\n"
-      "  --batch=N              replay batch size (default: 64)\n"
+      "  --admission-k=N        under byte pressure, a signature must miss N\n"
+      "                         times (probationary ring) before its plan may\n"
+      "                         evict a resident one (default: 1 = admit all)\n"
+      "  --admission-ring=N     probationary ring length (default: 256)\n"
+      "  --warm=FILE            pre-build the plans a request log needs before\n"
+      "                         serving (batched across --threads)\n"
+      "  --threads=N            build worker threads (default: 0 = inline)\n"
+      "  --batch=N              replay/warm batch size (default: 64)\n"
       "  --requests=FILE        replay a request log instead of serving\n"
       "  --replay-report        emit the \"serve\" BenchReport for the replay\n"
+      "  --sessions=N           replay only: drive the log through N\n"
+      "                         concurrent live sessions (default: 1; the\n"
+      "                         report's exact series never change)\n"
       "  --timing               add requests/sec + latency series (host-\n"
       "                         dependent; off keeps the report byte-stable)\n"
       "  --out=FILE             write the report to FILE (default: stdout)\n"
-      "  --port=N               serve a loopback TCP session instead of stdin\n";
+      "  --port=N               serve loopback TCP sessions instead of stdin\n";
 }
 
 struct ServeCliArgs {
@@ -98,6 +101,7 @@ struct ServeCliArgs {
   serve::ServeOptions service;
   std::size_t threads = 0;
   serve::ReplayOptions replay;
+  std::string warm_path;
   std::string requests_path;
   bool replay_report = false;
   std::string out_path;
@@ -152,6 +156,16 @@ ServeCliArgs parse_args(const std::vector<std::string>& args) {
     } else if (key == "--instance-capacity") {
       cli.service.instance_capacity =
           static_cast<std::size_t>(exp::parse_size(value_of(arg)));
+    } else if (key == "--admission-k") {
+      cli.service.admission_k = static_cast<std::size_t>(
+          parse_count(value_of(arg), "--admission-k"));
+      if (cli.service.admission_k == 0)
+        throw InvalidInput("--admission-k must be >= 1");
+    } else if (key == "--admission-ring") {
+      cli.service.admission_ring = static_cast<std::size_t>(
+          parse_count(value_of(arg), "--admission-ring"));
+    } else if (key == "--warm") {
+      cli.warm_path = value_of(arg);
     } else if (key == "--threads") {
       cli.threads =
           static_cast<std::size_t>(parse_count(value_of(arg), "--threads"));
@@ -164,6 +178,11 @@ ServeCliArgs parse_args(const std::vector<std::string>& args) {
       cli.requests_path = value_of(arg);
     } else if (arg == "--replay-report") {
       cli.replay_report = true;
+    } else if (key == "--sessions") {
+      cli.replay.sessions = static_cast<std::size_t>(
+          parse_count(value_of(arg), "--sessions"));
+      if (cli.replay.sessions == 0)
+        throw InvalidInput("--sessions must be >= 1");
     } else if (arg == "--timing") {
       cli.replay.timing = true;
     } else if (key == "--out") {
@@ -178,6 +197,8 @@ ServeCliArgs parse_args(const std::vector<std::string>& args) {
   }
   if (cli.requests_path.empty() && (cli.replay_report || cli.replay.timing))
     throw InvalidInput("--replay-report/--timing need --requests=FILE");
+  if (cli.requests_path.empty() && cli.replay.sessions > 1)
+    throw InvalidInput("--sessions needs --requests=FILE");
   if (!cli.requests_path.empty() && cli.port >= 0)
     throw InvalidInput("--requests and --port are mutually exclusive");
   return cli;
@@ -196,12 +217,29 @@ topology::Grid load_grid(const std::string& grid_arg, std::string& grid_name) {
   return io::read_grid(in);
 }
 
-int run_replay(const ServeCliArgs& cli, serve::PlanService& service) {
-  std::ifstream in(cli.requests_path);
-  if (!in)
-    throw InvalidInput("cannot open request log '" + cli.requests_path + "'");
+std::vector<serve::ReplayRequest> load_request_log(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidInput("cannot open request log '" + path + "'");
+  return serve::parse_request_log(in);
+}
+
+/// `--warm=FILE`: build every plan the log's requests need, through the
+/// same batched build path replay uses, before the first request is
+/// served.  Valid with every front-end.
+void warm_cache(const ServeCliArgs& cli, serve::PlanService& service) {
+  if (cli.warm_path.empty()) return;
   const std::vector<serve::ReplayRequest> requests =
-      serve::parse_request_log(in);
+      load_request_log(cli.warm_path);
+  ThreadPool pool(cli.threads);
+  const std::size_t built =
+      serve::warm_requests(service, requests, pool, cli.replay.batch);
+  std::cerr << "gridcast_serve: warmed " << built << " plans from "
+            << cli.warm_path << "\n";
+}
+
+int run_replay(const ServeCliArgs& cli, serve::PlanService& service) {
+  const std::vector<serve::ReplayRequest> requests =
+      load_request_log(cli.requests_path);
   if (!cli.replay_report) {
     // Reply-stream mode: every request through the interactive path, so a
     // log replays exactly like piping it to stdin.
@@ -237,67 +275,18 @@ int run_stdin(serve::PlanService& service) {
   return 0;
 }
 
-/// One loopback TCP session at a time: accept, serve lines until `quit`
-/// or disconnect, accept again — until SIGINT/SIGTERM.  Serving is
-/// single-threaded by design (the caches are thread-safe, but ordering
-/// replies within a session matters more than parallel sessions here).
+/// Loopback TCP sessions, one thread each, until SIGINT/SIGTERM.  The
+/// accept loop, session threads and async miss answering all live in
+/// serve::SocketServer where they are tested against loopback clients.
 int run_tcp(int port, serve::PlanService& service) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) throw InvalidInput("socket(): " + std::string(std::strerror(errno)));
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listener, 1) < 0) {
-    const std::string why = std::strerror(errno);
-    ::close(listener);
-    throw InvalidInput("cannot listen on 127.0.0.1:" + std::to_string(port) +
-                       ": " + why);
-  }
-  std::cerr << "gridcast_serve: listening on 127.0.0.1:" << port << "\n";
-  while (g_stop == 0) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;  // signal: re-check g_stop
-      const std::string why = std::strerror(errno);
-      ::close(listener);
-      throw InvalidInput("accept(): " + why);
-    }
-    std::string buf;
-    char chunk[4096];
-    bool quit = false;
-    while (!quit && g_stop == 0) {
-      const ssize_t n = ::read(conn, chunk, sizeof chunk);
-      if (n <= 0) break;  // disconnect (or EINTR on shutdown)
-      buf.append(chunk, static_cast<std::size_t>(n));
-      for (std::size_t nl = buf.find('\n'); nl != std::string::npos;
-           nl = buf.find('\n')) {
-        const std::string line = buf.substr(0, nl);
-        buf.erase(0, nl + 1);
-        const auto reply = service.handle_line(line);
-        if (!reply.text.empty()) {
-          const std::string out = reply.text + "\n";
-          ssize_t off = 0;
-          while (off < static_cast<ssize_t>(out.size())) {
-            const ssize_t w = ::write(conn, out.data() + off,
-                                      out.size() - static_cast<std::size_t>(off));
-            if (w <= 0) break;
-            off += w;
-          }
-        }
-        if (reply.quit) {
-          quit = true;
-          break;
-        }
-      }
-    }
-    ::close(conn);
-  }
-  ::close(listener);
+  serve::SocketServerOptions opts;
+  opts.port = port;
+  opts.log = [](const std::string& line) {
+    std::cerr << "gridcast_serve: " << line << "\n";
+  };
+  serve::SocketServer server(service, opts);
+  server.bind_and_listen();
+  server.run([] { return g_stop != 0; });
   std::cerr << "gridcast_serve: shutting down\n";
   return 0;
 }
@@ -317,6 +306,7 @@ int main(int argc, char** argv) {
     std::string grid_name;
     const topology::Grid grid = load_grid(cli.grid_arg, grid_name);
     serve::PlanService service(grid, grid_name, cli.service);
+    warm_cache(cli, service);
     if (!cli.requests_path.empty()) return run_replay(cli, service);
     if (cli.port >= 0) {
       install_stop_handlers();
