@@ -1,24 +1,9 @@
 #include "collective/backend.hpp"
 
-#include <algorithm>
-#include <cctype>
-
 #include "collective/backends.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::collective {
-
-namespace {
-
-std::string fold(std::string_view name) {
-  std::string out(name);
-  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return out;
-}
-
-}  // namespace
 
 std::string_view Backend::baseline_series() const noexcept { return {}; }
 
@@ -44,99 +29,43 @@ CollectiveResult Backend::alltoall(const sched::SchedulerEntry&, Bytes,
   unsupported(Verb::kAlltoall);
 }
 
+BackendRegistry::BackendRegistry()
+    : reg_({.kind = "backend",
+            .fold_canonical_lookup = true,
+            .require_lowercase_canonical = true}) {}
+
 void BackendRegistry::add(std::string name, std::string description,
                           Factory factory, std::vector<std::string> aliases) {
-  if (name.empty()) throw InvalidInput("backend name must be non-empty");
-  if (fold(name) != name)
-    throw InvalidInput("backend name '" + name +
-                       "' must be lowercase (lookups are case-insensitive)");
-  if (!factory) throw InvalidInput("backend factory must be callable");
-  std::lock_guard lk(mu_);
-  if (factories_.contains(name) || aliases_.contains(name))
-    throw InvalidInput("backend '" + name + "' is already registered");
-  for (std::size_t i = 0; i < aliases.size(); ++i) {
-    aliases[i] = fold(aliases[i]);
-    if (aliases_.contains(aliases[i]) || factories_.contains(aliases[i]))
-      throw InvalidInput("backend alias '" + aliases[i] +
-                         "' is already registered");
-    for (std::size_t j = 0; j < i; ++j)
-      if (aliases[j] == aliases[i])
-        throw InvalidInput("backend alias '" + aliases[i] +
-                           "' appears twice in one registration");
-  }
-  alias_lists_.emplace(name, aliases);
-  for (auto& a : aliases) aliases_.emplace(std::move(a), name);
-  descriptions_.emplace(name, std::move(description));
-  order_.push_back(name);
-  factories_.emplace(std::move(name), std::move(factory));
-}
-
-const std::string* BackendRegistry::canonical(std::string_view name) const {
-  const std::string folded = fold(name);
-  if (const auto it = factories_.find(folded); it != factories_.end())
-    return &it->first;
-  if (const auto al = aliases_.find(folded); al != aliases_.end())
-    return &al->second;
-  return nullptr;
-}
-
-std::string BackendRegistry::unknown_message(std::string_view name) const {
-  std::string known;
-  for (const auto& n : order_) {
-    if (!known.empty()) known += ", ";
-    known += n;
-  }
-  return "unknown backend '" + std::string(name) + "' (registered: " + known +
-         ")";
+  reg_.add(std::move(name), std::move(factory), std::move(aliases),
+           std::move(description));
 }
 
 BackendPtr BackendRegistry::make(std::string_view name,
                                  const BackendOptions& opts) const {
-  // The factory runs outside the lock, like SchedulerRegistry::make — a
-  // composite backend resolving delegates through the registry from its
-  // factory must not self-deadlock.
-  Factory factory;
-  std::string error;
-  {
-    std::lock_guard lk(mu_);
-    if (const std::string* c = canonical(name))
-      factory = factories_.find(*c)->second;
-    else
-      error = unknown_message(name);
-  }
-  if (factory) return factory(opts);
-  throw InvalidInput(error);
+  // factory_for copies the factory out under the lock; invoking it here
+  // keeps composite backends deadlock-free.
+  return reg_.factory_for(name)(opts);
 }
 
 std::string BackendRegistry::resolve(std::string_view name) const {
-  std::lock_guard lk(mu_);
-  if (const std::string* c = canonical(name)) return *c;
-  throw InvalidInput(unknown_message(name));
+  return reg_.resolve(name);
 }
 
 bool BackendRegistry::contains(std::string_view name) const {
-  std::lock_guard lk(mu_);
-  return canonical(name) != nullptr;
+  return reg_.contains(name);
 }
 
 std::vector<std::string> BackendRegistry::names() const {
-  std::lock_guard lk(mu_);
-  return order_;
+  return reg_.names();
 }
 
 std::vector<std::string> BackendRegistry::aliases_of(
     std::string_view name) const {
-  std::lock_guard lk(mu_);
-  const std::string* c = canonical(name);
-  if (c == nullptr) return {};
-  return alias_lists_.find(*c)->second;
+  return reg_.aliases_of(name);
 }
 
 std::string BackendRegistry::description_of(std::string_view name) const {
-  std::lock_guard lk(mu_);
-  const std::string* c = canonical(name);
-  if (c == nullptr) return {};
-  return descriptions_.find(*c)->second;
+  return reg_.description_of(name);
 }
 
 BackendRegistry& backend_registry() {

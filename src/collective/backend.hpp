@@ -2,9 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +10,7 @@
 #include "collective/verb.hpp"
 #include "sched/scheduler_entry.hpp"
 #include "sim/network.hpp"
+#include "support/named_registry.hpp"
 #include "support/types.hpp"
 
 /// The collective execution backend interface.
@@ -135,6 +134,8 @@ class BackendRegistry {
  public:
   using Factory = std::function<BackendPtr(const BackendOptions&)>;
 
+  BackendRegistry();
+
   /// Register a factory under a canonical name plus optional aliases, with
   /// a one-line description for `--list-backends`.  Throws InvalidInput
   /// when the name or any alias is already taken (also within this call).
@@ -168,16 +169,12 @@ class BackendRegistry {
   [[nodiscard]] std::string description_of(std::string_view name) const;
 
  private:
-  [[nodiscard]] const std::string* canonical(std::string_view name) const;
-  /// "unknown backend 'x' (registered: ...)".  Caller holds `mu_`.
-  [[nodiscard]] std::string unknown_message(std::string_view name) const;
-
-  mutable std::mutex mu_;
-  std::vector<std::string> order_;  ///< registration order
-  std::map<std::string, Factory, std::less<>> factories_;
-  std::map<std::string, std::string, std::less<>> descriptions_;
-  std::map<std::string, std::string, std::less<>> aliases_;  ///< folded → canonical
-  std::map<std::string, std::vector<std::string>, std::less<>> alias_lists_;
+  /// The shared machinery: backend policy is lowercase canonicals with
+  /// every lookup folded.  Factories come back by value and run outside
+  /// the lock, like SchedulerRegistry — a composite backend resolving
+  /// delegates through the registry from its factory must not
+  /// self-deadlock.
+  NamedRegistry<Factory> reg_;
 };
 
 /// The process-wide registry, pre-populated with the built-in backends

@@ -127,10 +127,15 @@ io::BenchReport run_race_sweep(InstanceCache& cache,
     throw InvalidInput(
         "--wall requires an unsharded run (wall time is machine-local and "
         "would break shard-merge byte-identity)");
+  if (spec.sched_cost && spec.shard.shards > 1)
+    throw InvalidInput(
+        "--sched-cost requires an unsharded run (selection cost is "
+        "machine-local and would break shard-merge byte-identity)");
   spec.shard.validate();
 
   sched::HeuristicOptions opts;
   opts.completion = spec.completion;
+  opts.prune = spec.prune;
   const std::vector<sched::Scheduler> comps =
       resolve_competitors(spec.sched_names, opts);
   const std::vector<Bytes> sizes =
@@ -193,6 +198,40 @@ io::BenchReport run_race_sweep(InstanceCache& cache,
         if (pass >= 0) best = std::min(best, dt);
       }
       series->wall_time_s = best;
+    }
+  }
+
+  if (spec.sched_cost) {
+    // Per-selection cost at every ladder point: how long one `order()`
+    // call takes, min over passes like the wall loop.  This is the budget
+    // that keeps composite selectors ("auto") honest — their selection
+    // walks the whole registry, and the baseline gate bounds that walk
+    // one-sided via `micro_scheduling_cost_s`.  Cells a competitor never
+    // scheduled (it was gated out at that point, or it is the backend's
+    // baseline row) stay NaN and the gate skips them.
+    constexpr int kCostPasses = 10;
+    for (const Bytes m : sizes) (void)cache.get(spec.root, m);
+    for (const auto& comp : comps) {
+      io::BenchSeries* series = nullptr;
+      for (auto& s : r.series)
+        if (s.name == comp.name()) series = &s;
+      if (series == nullptr) continue;  // gated out
+      series->micro_scheduling_cost_s.assign(sizes.size(), kNaN);
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const sched::SchedulerRuntimeInfo info(
+            *cache.get(spec.root, sizes[i]), sizes[i],
+            comp.options().completion);
+        if (!comp.entry().can_schedule(info)) continue;
+        double best = std::numeric_limits<double>::infinity();
+        for (int pass = -1; pass < kCostPasses; ++pass) {  // -1 = warmup
+          const auto t0 = clock::now();
+          (void)comp.order(info);
+          const double dt =
+              std::chrono::duration<double>(clock::now() - t0).count();
+          if (pass >= 0) best = std::min(best, dt);
+        }
+        series->micro_scheduling_cost_s[i] = best;
+      }
     }
   }
   return r;
@@ -270,10 +309,15 @@ io::BenchReport merge_race_shards(const std::vector<io::BenchReport>& shards) {
       out.series[s].makespan_s[i] = value;
     }
   }
-  // Sharded runs never time scheduling (wall is machine-local); only a
-  // trivial single-shard merge can carry it through.
-  if (n > 1)
-    for (auto& s : out.series) s.wall_time_s = kNaN;
+  // Sharded runs never time scheduling (wall and selection cost are
+  // machine-local); only a trivial single-shard merge can carry them
+  // through.
+  if (n > 1) {
+    for (auto& s : out.series) {
+      s.wall_time_s = kNaN;
+      s.micro_scheduling_cost_s.clear();
+    }
+  }
   return out;
 }
 
@@ -369,6 +413,7 @@ io::BenchReport run_race_grid(const RaceGridSpec& spec, ThreadPool& pool) {
 
   sched::HeuristicOptions opts;
   opts.completion = spec.completion;
+  opts.prune = spec.prune;
   const std::vector<sched::Scheduler> comps =
       resolve_competitors(spec.sched_names, opts);
 
@@ -737,6 +782,10 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
         throw InvalidInput("--iters must be >= 1");
     } else if (arg == "--wall") {
       cli.spec.wall = true;
+    } else if (arg == "--sched-cost") {
+      cli.spec.sched_cost = true;
+    } else if (arg == "--no-prune") {
+      cli.spec.prune = false;
     } else if (key == "--check") {
       cli.action = RaceCli::Action::kCheck;
       cli.check_path = value_of(arg);
@@ -861,6 +910,10 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
           "by definition");
     if (cli.spec.wall)
       throw InvalidInput("--wall applies to sweep mode only");
+    if (cli.spec.sched_cost)
+      throw InvalidInput(
+          "--sched-cost applies to sweep mode only (selection cost needs a "
+          "fixed ladder of instances to time against)");
     cli.action = RaceCli::Action::kRace;
     cli.race.sched_names = cli.spec.sched_names;
     cli.race.seed = cli.spec.seed;
@@ -868,6 +921,7 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
     cli.race.backend = cli.spec.backend;
     cli.race.completion = cli.spec.completion;
     cli.race.jitter = cli.spec.jitter;
+    cli.race.prune = cli.spec.prune;
     cli.race.shard = cli.spec.shard;
     if (!positionals.empty())
       throw InvalidInput("unexpected argument '" + positionals.front() +
@@ -907,6 +961,8 @@ RaceCli parse_race_cli(const std::vector<std::string>& args) {
       cli.spec.shard.validate();
       if (cli.spec.wall && cli.spec.shard.shards > 1)
         throw InvalidInput("--wall cannot be combined with --shards");
+      if (cli.spec.sched_cost && cli.spec.shard.shards > 1)
+        throw InvalidInput("--sched-cost cannot be combined with --shards");
       break;
     case RaceCli::Action::kRace:
       break;  // validated and returned above
@@ -1059,13 +1115,15 @@ std::string race_cli_usage() {
       "                [--sizes=default|256K,1M,...] [--completion=eager|"
       "after-last-send]\n"
       "                [--jitter=F] [--seed=N] [--threads=N] [--wall]\n"
+      "                [--sched-cost] [--no-prune]\n"
       "                [--shards=N --shard=k | --shard=k/N] [--out=FILE]\n"
       "  gridcast_race --race [--sched=a,b,c] [--backend=plogp|sim]\n"
       "                [--clusters=2-10|5-50:5|3,7,9] [--iters=N] "
       "[--realise]\n"
       "                [--root=N] [--completion=...] [--jitter=F] "
       "[--seed=N]\n"
-      "                [--threads=N] [--shards=N --shard=k] [--out=FILE]\n"
+      "                [--threads=N] [--no-prune] [--shards=N --shard=k] "
+      "[--out=FILE]\n"
       "  gridcast_race --merge out.json shard0.json shard1.json ...\n"
       "  gridcast_race --check=current.json --baseline=baseline.json\n"
       "                [--rtol=1e-6] [--wall-tol=10] [--throughput-tol=10]\n"
@@ -1074,7 +1132,11 @@ std::string race_cli_usage() {
       " instances; grid-executing backends need --realise.  --mode=\n"
       " predicted|measured remains as an alias of --backend.  --verb races\n"
       " the two-level scatter/alltoall instead of the broadcast: sizes are\n"
-      " then per-rank (scatter) / per-rank-pair (alltoall) blocks.)\n";
+      " then per-rank (scatter) / per-rank-pair (alltoall) blocks.\n"
+      " --sched-cost also times each competitor's per-selection cost\n"
+      " (micro_scheduling_cost_s; unsharded sweeps only).  --no-prune\n"
+      " disables lower-bound pruning in the 'auto' selector — a pure\n"
+      " optimisation, so reports are byte-identical either way.)\n";
 }
 
 }  // namespace gridcast::exp

@@ -57,6 +57,15 @@ struct RaceSpec {
   /// Section 7 complexity concern).  Unsharded runs only: wall time is
   /// machine-dependent and would break shard-merge byte-identity.
   bool wall = false;
+  /// Also time each competitor's *per-selection* cost at every ladder
+  /// point (`micro_scheduling_cost_s`, min over timing passes) — the
+  /// budget that keeps composite selectors ("auto") honest.  Unsharded
+  /// runs only, like `wall`.
+  bool sched_cost = false;
+  /// Lower-bound pruning in composite selectors ("auto"); `--no-prune`
+  /// clears it.  A pure optimisation: winners and reports are
+  /// byte-identical either way (tests and CI pin exactly that).
+  bool prune = true;
 };
 
 /// Resolve registry names into Scheduler handles; an unknown name throws
@@ -119,6 +128,8 @@ struct RaceGridSpec {
   ParamRanges ranges = ParamRanges::paper();
   /// Relative tie tolerance for hit counting (montecarlo.hpp semantics).
   double hit_epsilon = 1e-9;
+  /// Lower-bound pruning in composite selectors, as in RaceSpec::prune.
+  bool prune = true;
   ShardSpec shard = {};
 };
 

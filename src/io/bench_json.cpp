@@ -373,6 +373,18 @@ std::string report_grammar_violation(const BenchReport& r) {
   if (shard_form && r.block_iters == 0)
     return "shard-form report needs block_iters >= 1";
   for (const auto& s : r.series) {
+    // Selection-cost cells ride only final-form size sweeps: the other
+    // kinds have no per-ladder-point selection to time.
+    if (!s.micro_scheduling_cost_s.empty()) {
+      if (r.bench != "race")
+        return "'micro_scheduling_cost_s' is a size-sweep-only key";
+      if (s.makespan_s.empty())
+        return "series '" + s.name +
+               "' needs 'makespan_s' cells to carry micro_scheduling_cost_s";
+      if (s.micro_scheduling_cost_s.size() != r.sizes.size())
+        return "series '" + s.name +
+               "' micro_scheduling_cost_s does not cover the axis";
+    }
     if (r.is_micro()) {
       if (s.throughput.size() != r.sizes.size())
         return "series '" + s.name + "' throughput does not cover the axis";
@@ -481,6 +493,10 @@ void write_bench_json(std::ostream& os, const BenchReport& r) {
         os << ", \"hits\": ";
         put_double_array(os, r.series[s].hits);
       }
+      if (!r.series[s].micro_scheduling_cost_s.empty()) {
+        os << ", \"micro_scheduling_cost_s\": ";
+        put_double_array(os, r.series[s].micro_scheduling_cost_s);
+      }
     }
     os << "}" << (s + 1 < r.series.size() ? "," : "") << "\n";
   }
@@ -582,6 +598,14 @@ BenchReport bench_from_json(const std::string& text) {
                                "' has 'block_hits' without 'block_sum_s'");
           s.block_hits = nested_number_array(*bh, "block_hits");
         }
+        if (const JsonValue* sc = find(so, "micro_scheduling_cost_s")) {
+          if (mk == nullptr)
+            throw InvalidInput("bench JSON: series '" + s.name +
+                               "' needs 'makespan_s' cells to carry "
+                               "micro_scheduling_cost_s");
+          s.micro_scheduling_cost_s =
+              number_array(*sc, "micro_scheduling_cost_s");
+        }
         r.series.push_back(std::move(s));
       }
     } else {
@@ -653,6 +677,15 @@ BenchReport bench_from_json(const std::string& text) {
   for (const auto& s : r.series) {
     if (!r.is_montecarlo() && !s.hits.empty())
       throw InvalidInput("bench JSON: 'hits' is montecarlo-only");
+    if (!s.micro_scheduling_cost_s.empty()) {
+      if (r.bench != "race")
+        throw InvalidInput(
+            "bench JSON: 'micro_scheduling_cost_s' is a size-sweep-only key");
+      if (s.micro_scheduling_cost_s.size() != r.sizes.size())
+        throw InvalidInput("bench JSON: series '" + s.name +
+                           "' micro_scheduling_cost_s does not cover the "
+                           "axis");
+    }
     if (shard_form != !s.block_sum_s.empty())
       throw InvalidInput("bench JSON: series '" + s.name +
                          "' mixes shard-form and final-form data");
@@ -833,6 +866,27 @@ std::vector<std::string> compare_bench(const BenchReport& baseline,
             " " + std::to_string(baseline.sizes[i]) + ": baseline " +
             std::to_string(b) + " items/s, current " + std::to_string(c) +
             " items/s (floor " + std::to_string(floor) + " items/s)");
+    }
+    // Selection cost is host-dependent like wall_time_s, so the gate is
+    // the same one-sided budget: current <= baseline * wall_factor.
+    // Written so NaN on the current side fails.
+    if (!base.micro_scheduling_cost_s.empty() &&
+        cur->micro_scheduling_cost_s.size() !=
+            base.micro_scheduling_cost_s.size()) {
+      add("series '" + base.name + "' is missing micro_scheduling_cost_s");
+      continue;
+    }
+    for (std::size_t i = 0; i < base.micro_scheduling_cost_s.size(); ++i) {
+      const double b = base.micro_scheduling_cost_s[i];
+      const double c = cur->micro_scheduling_cost_s[i];
+      if (std::isnan(b)) continue;  // baseline never measured this cell
+      const double limit = b * opts.wall_factor;
+      if (!(c <= limit))
+        add("series '" + base.name +
+            "' micro_scheduling_cost_s regression at " + axis + " " +
+            std::to_string(baseline.sizes[i]) + ": baseline " +
+            std::to_string(b) + "s, current " + std::to_string(c) +
+            "s (limit " + std::to_string(limit) + "s)");
     }
     if (!std::isnan(base.wall_time_s)) {
       const double limit = base.wall_time_s * opts.wall_factor;

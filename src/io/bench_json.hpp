@@ -45,6 +45,13 @@ struct BenchSeries {
   /// at each axis point (events/sec, sends/sec, ...).  Replaces
   /// `makespan_s` for that kind; empty everywhere else.
   std::vector<double> throughput;
+  /// Size sweeps (`bench == "race"`, final form) only, opt-in: seconds to
+  /// *select* one schedule at each ladder point (min over timing passes),
+  /// so composite selectors ("auto") carry their per-selection overhead
+  /// next to the makespans they won.  Host-dependent like `wall_time_s`,
+  /// and gated the same way: one-sided, current <= baseline * wall_factor,
+  /// NaN baseline cells skipped.
+  std::vector<double> micro_scheduling_cost_s;
 };
 
 /// A full report: the sweep axis, per-series results, and enough metadata

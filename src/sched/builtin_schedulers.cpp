@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sched/auto_scheduler.hpp"
 #include "sched/mixed.hpp"
 #include "sched/registry.hpp"
 #include "support/error.hpp"
@@ -181,6 +182,16 @@ void register_builtin_schedulers(SchedulerRegistry& reg) {
         return std::make_shared<const StarWanScheduler>(o);
       },
       {"star-wan", "starwan"});
+  // The registry-wide per-instance selector, registered last so its
+  // candidate snapshot (taken at make() time, outside the registry lock)
+  // covers every builtin above.  The factory captures *this* registry —
+  // not the global one — so local test registries get local candidates.
+  reg.add(
+      "auto",
+      [r = &reg](const HeuristicOptions& o) {
+        return std::make_shared<const AutoScheduler>(*r, o);
+      },
+      {"best", "propose"});
 }
 
 }  // namespace gridcast::sched

@@ -1,105 +1,38 @@
 #include "sched/registry.hpp"
 
-#include <algorithm>
-#include <cctype>
-
 #include "sched/builtin_schedulers.hpp"
 #include "support/error.hpp"
 
 namespace gridcast::sched {
 
-namespace {
-
-std::string fold(std::string_view name) {
-  std::string out(name);
-  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return out;
-}
-
-}  // namespace
+SchedulerRegistry::SchedulerRegistry()
+    : reg_({.kind = "scheduler",
+            .fold_canonical_lookup = false,
+            .require_lowercase_canonical = false}) {}
 
 void SchedulerRegistry::add(std::string name, Factory factory,
                             std::vector<std::string> aliases) {
-  if (name.empty()) throw InvalidInput("scheduler name must be non-empty");
-  if (!factory) throw InvalidInput("scheduler factory must be callable");
-  std::lock_guard lk(mu_);
-  // A new canonical name must not shadow an existing alias: find() tries
-  // the exact canonical match first, so accepting it would silently
-  // redirect every lookup of that alias.  (An alias equal to the fold of
-  // an existing canonical stays legal — exact-match-first keeps it
-  // unambiguous, and the "ecef-lat" → ECEF-LAT alias relies on it.)
-  if (factories_.contains(name) || aliases_.contains(fold(name)))
-    throw InvalidInput("scheduler '" + name + "' is already registered");
-  for (std::size_t i = 0; i < aliases.size(); ++i) {
-    aliases[i] = fold(aliases[i]);
-    if (aliases_.contains(aliases[i]) || factories_.contains(aliases[i]))
-      throw InvalidInput("scheduler alias '" + aliases[i] +
-                         "' is already registered");
-    // Also reject duplicates *within this call*: emplace below keeps only
-    // the first occurrence, so a repeated alias would be silently dropped.
-    for (std::size_t j = 0; j < i; ++j)
-      if (aliases[j] == aliases[i])
-        throw InvalidInput("scheduler alias '" + aliases[i] +
-                           "' appears twice in one registration");
-  }
-  for (auto& a : aliases) aliases_.emplace(std::move(a), name);
-  order_.push_back(name);
-  factories_.emplace(std::move(name), std::move(factory));
-}
-
-const SchedulerRegistry::Factory* SchedulerRegistry::find(
-    std::string_view name) const {
-  if (const auto it = factories_.find(name); it != factories_.end())
-    return &it->second;
-  if (const auto al = aliases_.find(fold(name)); al != aliases_.end())
-    return &factories_.find(al->second)->second;
-  return nullptr;
+  reg_.add(std::move(name), std::move(factory), std::move(aliases));
 }
 
 SchedulerEntryPtr SchedulerRegistry::make(std::string_view name,
                                           HeuristicOptions opts) const {
-  // The factory is invoked *outside* the lock: composite entries (e.g.
-  // "Mixed") resolve their delegates through the registry from inside
-  // their factory, which would self-deadlock otherwise.
-  Factory factory;
-  std::string known;
-  {
-    std::lock_guard lk(mu_);
-    if (const Factory* f = find(name)) {
-      factory = *f;
-    } else {
-      for (const auto& n : order_) {
-        if (!known.empty()) known += ", ";
-        known += n;
-      }
-    }
-  }
-  if (factory) return factory(opts);
-  throw InvalidInput("unknown scheduler '" + std::string(name) +
-                     "' (registered: " + known + ")");
+  // factory_for copies the factory out under the lock; invoking it here
+  // keeps composite entries (e.g. "Mixed", "auto") deadlock-free.
+  return reg_.factory_for(name)(opts);
 }
 
 bool SchedulerRegistry::contains(std::string_view name) const {
-  std::lock_guard lk(mu_);
-  return find(name) != nullptr;
+  return reg_.contains(name);
 }
 
 std::vector<std::string> SchedulerRegistry::names() const {
-  std::lock_guard lk(mu_);
-  return order_;
+  return reg_.names();
 }
 
 std::vector<SchedulerEntryPtr> SchedulerRegistry::make_all(
     HeuristicOptions opts) const {
-  std::vector<Factory> factories;
-  {
-    std::lock_guard lk(mu_);
-    factories.reserve(order_.size());
-    for (const auto& n : order_)
-      factories.push_back(factories_.find(n)->second);
-  }
+  const std::vector<Factory> factories = reg_.all_factories();
   std::vector<SchedulerEntryPtr> out;
   out.reserve(factories.size());
   for (const auto& f : factories) out.push_back(f(opts));

@@ -1,14 +1,13 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sched/scheduler_entry.hpp"
+#include "support/named_registry.hpp"
 
 /// The global scheduler registry: every heuristic the system knows is a
 /// named factory here, and every consumer — collectives, experiment
@@ -22,6 +21,8 @@ class SchedulerRegistry {
   /// Builds a `const` entry configured with the given options.
   using Factory =
       std::function<SchedulerEntryPtr(const HeuristicOptions&)>;
+
+  SchedulerRegistry();
 
   /// Register a factory under a canonical name (matched exactly) plus
   /// optional aliases (matched case-insensitively).  Throws InvalidInput
@@ -45,12 +46,12 @@ class SchedulerRegistry {
       HeuristicOptions opts = {}) const;
 
  private:
-  [[nodiscard]] const Factory* find(std::string_view name) const;
-
-  mutable std::mutex mu_;
-  std::vector<std::string> order_;                   ///< registration order
-  std::map<std::string, Factory, std::less<>> factories_;
-  std::map<std::string, std::string, std::less<>> aliases_;  ///< folded → canonical
+  /// The shared machinery: scheduler policy is exact-match canonicals
+  /// (mixed case preserved) with folded aliases.  Factories come back by
+  /// value and are invoked outside the lock — composite entries ("Mixed",
+  /// "auto") resolve their delegates through the registry from inside
+  /// their factory, which would self-deadlock otherwise.
+  NamedRegistry<Factory> reg_;
 };
 
 /// The process-wide registry, pre-populated with the paper's heuristics

@@ -26,6 +26,10 @@ struct HeuristicOptions {
   BottomUpPolicy bottomup = BottomUpPolicy::kReadyTimeAware;
   /// How schedules are scored (selection is unaffected; see evaluate.hpp).
   CompletionModel completion = CompletionModel::kEager;
+  /// Lower-bound pruning during composite selection ("auto"): a pure
+  /// optimisation — winners and reports are identical either way — kept
+  /// as a knob so tests (and `--no-prune`) can pin exactly that.
+  bool prune = true;
 };
 
 /// Per-instance runtime context threaded through selection, so heuristics
@@ -92,6 +96,24 @@ class SchedulerEntry {
   /// One-line description of the knobs this entry was built with, for
   /// bench banners and the registry's help output.
   [[nodiscard]] virtual std::string describe_options() const;
+
+  /// Whether this entry delegates to other registry entries ("Mixed",
+  /// "auto").  Composite selectors exclude composites from their
+  /// candidate set — "auto" must never recurse into "Mixed" or itself.
+  [[nodiscard]] virtual bool is_composite() const noexcept { return false; }
+
+  /// A sound lower bound on the makespan of any schedule this entry can
+  /// produce for `info`'s instance: `lower_bound(info) <=
+  /// evaluate_order(inst, order(info), ...).makespan` must hold for every
+  /// instance the entry accepts.  The default returns the instance-level
+  /// bound cached in the info (every schedule delivers each cluster at
+  /// least once).  Composite selectors prune candidates whose bound
+  /// cannot beat the incumbent; an unsound override is detected under
+  /// GRIDCAST_DCHECK during proposal.
+  [[nodiscard]] virtual Time lower_bound(
+      const SchedulerRuntimeInfo& info) const {
+    return info.lower_bound();
+  }
 
   [[nodiscard]] const HeuristicOptions& options() const noexcept {
     return opts_;

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+/// The one name→factory registry implementation behind both
+/// `sched::SchedulerRegistry` and `collective::BackendRegistry` (and any
+/// future registry).  Both registries need the same machinery — canonical
+/// names in registration order, case-folded aliases, duplicate rejection
+/// with no partial state, and factories handed back *by value* so callers
+/// can invoke them outside the lock (composite entries resolve delegates
+/// through their own registry from inside their factory) — but differ in
+/// two policy bits, captured by `Rules`:
+///
+///   * schedulers keep mixed-case canonical names matched *exactly*
+///     (exact-match-first keeps an alias equal to the fold of a canonical
+///     unambiguous — "ecef-lat" → ECEF-LAT relies on it), while
+///   * backends require lowercase canonical names and fold *every*
+///     lookup, canonical or alias.
+///
+/// Error messages are worded "<kind> ..." so the wrappers keep their
+/// historically pinned texts verbatim.
+namespace gridcast {
+
+template <typename Factory>
+class NamedRegistry {
+ public:
+  /// The policy knobs that distinguish one registry from another.
+  struct Rules {
+    /// The word in every error message ("scheduler", "backend", ...).
+    std::string kind;
+    /// Fold canonical names on lookup (requires lowercase canonicals).
+    bool fold_canonical_lookup = false;
+    /// Reject non-lowercase canonical names at add() time.
+    bool require_lowercase_canonical = false;
+  };
+
+  explicit NamedRegistry(Rules rules) : rules_(std::move(rules)) {}
+
+  NamedRegistry(const NamedRegistry&) = delete;
+  NamedRegistry& operator=(const NamedRegistry&) = delete;
+
+  /// Register a factory under a canonical name plus optional aliases
+  /// (always folded) and an optional one-line description.  Throws
+  /// InvalidInput when the name or any alias is already taken — including
+  /// duplicates *within this call* — leaving the registry unchanged.
+  void add(std::string name, Factory factory,
+           std::vector<std::string> aliases = {},
+           std::string description = {}) {
+    if (name.empty())
+      throw InvalidInput(rules_.kind + " name must be non-empty");
+    if (rules_.require_lowercase_canonical && fold(name) != name)
+      throw InvalidInput(rules_.kind + " name '" + name +
+                         "' must be lowercase (lookups are case-insensitive)");
+    if (!factory)
+      throw InvalidInput(rules_.kind + " factory must be callable");
+    std::lock_guard lk(mu_);
+    // A new canonical name must not shadow an existing alias: lookup tries
+    // the canonical map first, so accepting it would silently redirect
+    // every lookup of that alias.  (An alias equal to the fold of an
+    // existing canonical stays legal under exact-match-first.)
+    if (factories_.contains(name) || aliases_.contains(fold(name)))
+      throw InvalidInput(rules_.kind + " '" + name + "' is already registered");
+    for (std::size_t i = 0; i < aliases.size(); ++i) {
+      aliases[i] = fold(aliases[i]);
+      if (aliases_.contains(aliases[i]) || factories_.contains(aliases[i]))
+        throw InvalidInput(rules_.kind + " alias '" + aliases[i] +
+                           "' is already registered");
+      // Also reject duplicates within this call: emplace below keeps only
+      // the first occurrence, so a repeat would be silently dropped.
+      for (std::size_t j = 0; j < i; ++j)
+        if (aliases[j] == aliases[i])
+          throw InvalidInput(rules_.kind + " alias '" + aliases[i] +
+                             "' appears twice in one registration");
+    }
+    alias_lists_.emplace(name, aliases);
+    for (auto& a : aliases) aliases_.emplace(std::move(a), name);
+    descriptions_.emplace(name, std::move(description));
+    order_.push_back(name);
+    factories_.emplace(std::move(name), std::move(factory));
+  }
+
+  /// The factory registered under `name` (canonical or alias), returned
+  /// *by value* so the caller invokes it outside the registry lock.
+  /// Throws "unknown <kind> '<name>' (registered: ...)" for unknown names.
+  [[nodiscard]] Factory factory_for(std::string_view name) const {
+    std::lock_guard lk(mu_);
+    if (const std::string* c = canonical_locked(name))
+      return factories_.find(*c)->second;
+    throw InvalidInput(unknown_message_locked(name));
+  }
+
+  /// Every registered factory, in registration order, copied out for the
+  /// caller to invoke outside the lock.
+  [[nodiscard]] std::vector<Factory> all_factories() const {
+    std::lock_guard lk(mu_);
+    std::vector<Factory> out;
+    out.reserve(order_.size());
+    for (const auto& n : order_) out.push_back(factories_.find(n)->second);
+    return out;
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    std::lock_guard lk(mu_);
+    return canonical_locked(name) != nullptr;
+  }
+
+  /// Resolve a name or alias to its canonical name, throwing the same
+  /// InvalidInput as factory_for() for unknown names.
+  [[nodiscard]] std::string resolve(std::string_view name) const {
+    std::lock_guard lk(mu_);
+    if (const std::string* c = canonical_locked(name)) return *c;
+    throw InvalidInput(unknown_message_locked(name));
+  }
+
+  /// Canonical names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::lock_guard lk(mu_);
+    return order_;
+  }
+
+  /// Registered aliases of a canonical name (folded), in registration
+  /// order; empty for unknown names.
+  [[nodiscard]] std::vector<std::string> aliases_of(
+      std::string_view name) const {
+    std::lock_guard lk(mu_);
+    const std::string* c = canonical_locked(name);
+    if (c == nullptr) return {};
+    return alias_lists_.find(*c)->second;
+  }
+
+  /// The description add() recorded for a canonical name or alias; empty
+  /// for unknown names.
+  [[nodiscard]] std::string description_of(std::string_view name) const {
+    std::lock_guard lk(mu_);
+    const std::string* c = canonical_locked(name);
+    if (c == nullptr) return {};
+    return descriptions_.find(*c)->second;
+  }
+
+ private:
+  [[nodiscard]] static std::string fold(std::string_view name) {
+    std::string out(name);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    return out;
+  }
+
+  /// Caller holds `mu_`.  Canonical map first (exactly, or folded per the
+  /// rules), then the folded alias map.
+  [[nodiscard]] const std::string* canonical_locked(
+      std::string_view name) const {
+    if (rules_.fold_canonical_lookup) {
+      const std::string folded = fold(name);
+      if (const auto it = factories_.find(folded); it != factories_.end())
+        return &it->first;
+      if (const auto al = aliases_.find(folded); al != aliases_.end())
+        return &al->second;
+      return nullptr;
+    }
+    if (const auto it = factories_.find(name); it != factories_.end())
+      return &it->first;
+    if (const auto al = aliases_.find(fold(name)); al != aliases_.end())
+      return &al->second;
+    return nullptr;
+  }
+
+  /// "unknown <kind> 'x' (registered: ...)".  Caller holds `mu_`.
+  [[nodiscard]] std::string unknown_message_locked(
+      std::string_view name) const {
+    std::string known;
+    for (const auto& n : order_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return "unknown " + rules_.kind + " '" + std::string(name) +
+           "' (registered: " + known + ")";
+  }
+
+  Rules rules_;
+  mutable std::mutex mu_;
+  std::vector<std::string> order_;  ///< registration order
+  std::map<std::string, Factory, std::less<>> factories_;
+  std::map<std::string, std::string, std::less<>> descriptions_;
+  std::map<std::string, std::string, std::less<>> aliases_;  ///< folded → canonical
+  std::map<std::string, std::vector<std::string>, std::less<>> alias_lists_;
+};
+
+}  // namespace gridcast

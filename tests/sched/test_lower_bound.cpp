@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string_view>
+
+#include "exp/instance_cache.hpp"
+#include "exp/param_ranges.hpp"
+#include "exp/sweep.hpp"
+#include "sched/auto_scheduler.hpp"
+#include "sched/builtin_schedulers.hpp"
+#include "sched/evaluate.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/registry.hpp"
+#include "support/contracts.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topology/grid5000.hpp"
+
+// The soundness contract behind "auto"'s pruning: for every entry and
+// every instance it accepts, `lower_bound(info)` must not exceed the
+// makespan of the schedule the entry actually produces.  Pruning skips a
+// candidate only when its bound cannot beat the incumbent, so a sound
+// bound makes pruning a pure optimisation — and an unsound one would
+// silently change winners, which is why the DCHECK in propose() exists.
+namespace gridcast::sched {
+namespace {
+
+void expect_sound_bounds(const SchedulerRuntimeInfo& info,
+                         const char* label) {
+  for (const auto& entry : registry().make_all()) {
+    if (!entry->can_schedule(info)) continue;
+    const Time mk =
+        evaluate_order(info.instance(), entry->order(info), info.completion())
+            .makespan;
+    EXPECT_LE(entry->lower_bound(info), mk)
+        << entry->name() << " on " << label;
+  }
+}
+
+TEST(LowerBound, SoundForEveryEntryOnTheFixtureGrid) {
+  const topology::Grid grid = topology::grid5000_testbed();
+  exp::InstanceCache cache(grid);
+  for (const Bytes m : exp::default_size_ladder()) {
+    for (const auto completion :
+         {CompletionModel::kEager, CompletionModel::kAfterLastSend}) {
+      const SchedulerRuntimeInfo info(*cache.get(0, m), m, completion);
+      expect_sound_bounds(info, "grid5000 ladder");
+    }
+  }
+}
+
+TEST(LowerBound, SoundForEveryEntryOnRandomInstances) {
+  for (std::uint64_t it = 0; it < 40; ++it) {
+    Rng rng = Rng::stream(31, it);
+    const std::size_t clusters = 2 + static_cast<std::size_t>(it % 12);
+    const Instance inst =
+        exp::sample_instance(exp::ParamRanges::paper(), clusters, rng);
+    const SchedulerRuntimeInfo info(inst);
+    expect_sound_bounds(info, "sampled Table 2 instance");
+  }
+}
+
+TEST(LowerBound, DefaultBoundIsTheCachedInstanceBound) {
+  Rng rng = Rng::stream(37, 0);
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), 7, rng);
+  const SchedulerRuntimeInfo info(inst);
+  // Entries that do not override lower_bound() report the instance-level
+  // bound the info caches — every schedule delivers each cluster at
+  // least once, so it is sound for any of them.
+  const auto entry = registry().make("FlatTree");
+  EXPECT_DOUBLE_EQ(entry->lower_bound(info), info.lower_bound());
+  EXPECT_DOUBLE_EQ(registry().make("auto")->lower_bound(info),
+                   info.lower_bound());
+}
+
+// An entry whose bound is a lie: it claims no schedule can finish before
+// +inf, so under pruning it would veto every later candidate.  propose()
+// evaluates it (it is first, so there is no incumbent to prune against)
+// and the soundness DCHECK trips.
+class LyingBoundScheduler final : public SchedulerEntry {
+ public:
+  using SchedulerEntry::SchedulerEntry;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "LyingBound";
+  }
+  [[nodiscard]] SendOrder order(
+      const SchedulerRuntimeInfo& info) const override {
+    return flat_tree_order(info.instance());
+  }
+  [[nodiscard]] Time lower_bound(
+      const SchedulerRuntimeInfo&) const override {
+    return std::numeric_limits<Time>::infinity();
+  }
+  using SchedulerEntry::order;
+};
+
+TEST(LowerBound, LyingBoundIsDetectedDuringProposal) {
+  if (!GRIDCAST_DCHECKS_ENABLED)
+    GTEST_SKIP() << "soundness DCHECK is compiled out of this build";
+  SchedulerRegistry reg;
+  // Registered *first* so the lying entry is evaluated rather than
+  // pruned: the DCHECK runs on evaluated candidates only.
+  reg.add("LyingBound", [](const HeuristicOptions& o) {
+    return std::make_shared<const LyingBoundScheduler>(o);
+  });
+  reg.add("FlatTree", [](const HeuristicOptions& o) {
+    return std::make_shared<const FlatTreeScheduler>(o);
+  });
+  const AutoScheduler autos(reg);
+  Rng rng = Rng::stream(41, 0);
+  const Instance inst =
+      exp::sample_instance(exp::ParamRanges::paper(), 6, rng);
+  EXPECT_THROW((void)autos.propose(SchedulerRuntimeInfo(inst)), LogicError);
+}
+
+}  // namespace
+}  // namespace gridcast::sched

@@ -150,5 +150,28 @@ TEST(SchedulerSetRevision, StableAndSetSensitive) {
             scheduler_set_revision(all));
 }
 
+TEST(SchedulerSetRevision, RollsWhenAutoJoinsAndWhenItsKnobsChange) {
+  // Registering "auto" must invalidate cached plans: an empty sched set
+  // means "every registered scheduler", and the revision is what tells a
+  // serving replay that the set grew.
+  std::vector<std::string> names = sched::registry().names();
+  ASSERT_EQ(names.back(), "auto");
+  const sched::HeuristicOptions opts;
+  const auto with_auto = exp::resolve_competitors(names, opts);
+  names.pop_back();
+  const auto without_auto = exp::resolve_competitors(names, opts);
+  EXPECT_NE(scheduler_set_revision(with_auto),
+            scheduler_set_revision(without_auto));
+
+  // The revision folds describe_options(), and auto describes its prune
+  // knob — so flipping --no-prune rolls the revision too, even though
+  // selections are identical (the conservative direction for a cache).
+  sched::HeuristicOptions no_prune = opts;
+  no_prune.prune = false;
+  EXPECT_NE(scheduler_set_revision(
+                exp::resolve_competitors({"auto"}, no_prune)),
+            scheduler_set_revision(exp::resolve_competitors({"auto"}, opts)));
+}
+
 }  // namespace
 }  // namespace gridcast::serve

@@ -1,0 +1,180 @@
+#include "support/named_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+// The shared machinery behind sched::SchedulerRegistry and
+// collective::BackendRegistry, exercised once per policy so neither
+// wrapper has to re-test the common rules.  The wrappers' own suites
+// (sched/test_registry.cpp, collective/test_backend.cpp) keep pinning the
+// behaviour through their public APIs — this suite pins the template
+// directly, including the policy bits the wrappers each only see one side
+// of.
+namespace gridcast {
+namespace {
+
+using Factory = std::function<int()>;
+
+/// A factory returning a fixed tag, so tests can tell which registration
+/// a lookup resolved to.
+Factory tag(int v) {
+  return [v] { return v; };
+}
+
+NamedRegistry<Factory>::Rules scheduler_rules() {
+  return {.kind = "scheduler",
+          .fold_canonical_lookup = false,
+          .require_lowercase_canonical = false};
+}
+
+NamedRegistry<Factory>::Rules backend_rules() {
+  return {.kind = "backend",
+          .fold_canonical_lookup = true,
+          .require_lowercase_canonical = true};
+}
+
+// ------------------------------------------------ rules shared by both
+
+TEST(NamedRegistry, RegistrationOrderAndFactoriesSurvive) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  reg.add("A", tag(1));
+  reg.add("B", tag(2), {"b-alias"});
+  reg.add("C", tag(3));
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(reg.factory_for("A")(), 1);
+  EXPECT_EQ(reg.factory_for("b-alias")(), 2);
+  const auto all = reg.all_factories();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0](), 1);
+  EXPECT_EQ(all[1](), 2);
+  EXPECT_EQ(all[2](), 3);
+}
+
+TEST(NamedRegistry, EmptyNameAndNullFactoryRejected) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  try {
+    reg.add("", tag(1));
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_STREQ(e.what(), "scheduler name must be non-empty");
+  }
+  try {
+    reg.add("A", Factory{});
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_STREQ(e.what(), "scheduler factory must be callable");
+  }
+  EXPECT_TRUE(reg.names().empty());
+}
+
+TEST(NamedRegistry, DuplicatesRejectedWithoutPartialState) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  reg.add("A", tag(1), {"a-alias"});
+  EXPECT_THROW(reg.add("A", tag(2)), InvalidInput);
+  // A canonical may not shadow an existing alias (canonical map wins on
+  // lookup, so accepting it would hijack the alias).
+  EXPECT_THROW(reg.add("a-alias", tag(2)), InvalidInput);
+  // Alias collisions: against canonicals (aliases are folded before the
+  // check, so only a lowercase canonical can collide), against aliases,
+  // and within a single call (folding included).
+  reg.add("low", tag(3));
+  EXPECT_THROW(reg.add("B", tag(2), {"LOW"}), InvalidInput);
+  EXPECT_THROW(reg.add("B", tag(2), {"a-alias"}), InvalidInput);
+  EXPECT_THROW(reg.add("B", tag(2), {"dup", "dup"}), InvalidInput);
+  EXPECT_THROW(reg.add("B", tag(2), {"Dup", "dup"}), InvalidInput);
+  // Every rejected add left the registry unchanged.
+  EXPECT_FALSE(reg.contains("B"));
+  EXPECT_FALSE(reg.contains("dup"));
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"A", "low"}));
+  reg.add("B", tag(2), {"dup"});
+  EXPECT_EQ(reg.factory_for("dup")(), 2);
+}
+
+TEST(NamedRegistry, UnknownNameListsWhatIsRegistered) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  reg.add("A", tag(1));
+  reg.add("B", tag(2));
+  try {
+    (void)reg.factory_for("nope");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_STREQ(e.what(), "unknown scheduler 'nope' (registered: A, B)");
+  }
+  EXPECT_THROW((void)reg.resolve("nope"), InvalidInput);
+}
+
+TEST(NamedRegistry, AliasesAndDescriptionsAreQueryable) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  reg.add("A", tag(1), {"One", "uno"}, "the first");
+  // Aliases are stored folded, in registration order, reachable via the
+  // canonical name or any alias.
+  EXPECT_EQ(reg.aliases_of("A"), (std::vector<std::string>{"one", "uno"}));
+  EXPECT_EQ(reg.aliases_of("uno"), (std::vector<std::string>{"one", "uno"}));
+  EXPECT_EQ(reg.description_of("A"), "the first");
+  EXPECT_EQ(reg.description_of("one"), "the first");
+  // Unknown names return empty instead of throwing (the list-backends
+  // path iterates names() and must not race removals that cannot happen).
+  EXPECT_TRUE(reg.aliases_of("nope").empty());
+  EXPECT_TRUE(reg.description_of("nope").empty());
+}
+
+// ------------------------------------------------ scheduler policy bits
+
+TEST(NamedRegistry, SchedulerPolicyMatchesCanonicalsExactly) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  reg.add("ECEF-LAt", tag(1), {"ecef-la-min"});
+  reg.add("ECEF-LAT", tag(2), {"ecef-lat"});
+  // Exact canonical match first: the two names that fold to the same
+  // string stay distinct, and the bare lowercase alias goes where it was
+  // registered.
+  EXPECT_EQ(reg.factory_for("ECEF-LAt")(), 1);
+  EXPECT_EQ(reg.factory_for("ECEF-LAT")(), 2);
+  EXPECT_EQ(reg.factory_for("ecef-lat")(), 2);
+  EXPECT_EQ(reg.resolve("ecef-la-min"), "ECEF-LAt");
+  // A case variant that matches no canonical exactly falls through to the
+  // folded alias map — including one that *almost* spells a canonical.
+  EXPECT_EQ(reg.resolve("Ecef-La-Min"), "ECEF-LAt");
+  EXPECT_EQ(reg.resolve("ECEF-lat"), "ECEF-LAT");
+}
+
+TEST(NamedRegistry, SchedulerPolicyAllowsAliasEqualToCanonicalFold) {
+  NamedRegistry<Factory> reg(scheduler_rules());
+  // The self-alias pattern: "FlatTree" + alias "flattree" is legal and
+  // makes the canonical reachable case-insensitively.
+  reg.add("FlatTree", tag(1), {"flattree"});
+  EXPECT_EQ(reg.factory_for("FlatTree")(), 1);
+  EXPECT_EQ(reg.factory_for("FLATTREE")(), 1);
+}
+
+// ------------------------------------------------ backend policy bits
+
+TEST(NamedRegistry, BackendPolicyRequiresLowercaseCanonicals) {
+  NamedRegistry<Factory> reg(backend_rules());
+  try {
+    reg.add("Sim", tag(1));
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_STREQ(e.what(),
+                 "backend name 'Sim' must be lowercase (lookups are "
+                 "case-insensitive)");
+  }
+  EXPECT_TRUE(reg.names().empty());
+}
+
+TEST(NamedRegistry, BackendPolicyFoldsEveryLookup) {
+  NamedRegistry<Factory> reg(backend_rules());
+  reg.add("sim", tag(1), {"Measured"});
+  EXPECT_EQ(reg.factory_for("sim")(), 1);
+  EXPECT_EQ(reg.factory_for("SIM")(), 1);
+  EXPECT_EQ(reg.factory_for("measured")(), 1);
+  EXPECT_EQ(reg.resolve("MEASURED"), "sim");
+  EXPECT_TRUE(reg.contains("SiM"));
+}
+
+}  // namespace
+}  // namespace gridcast
